@@ -1,0 +1,77 @@
+// Shared plumbing for the experiment harnesses: flag parsing, table
+// printing, and paper-vs-measured rows. Every exp_* binary reproduces one
+// table or figure from the paper and prints the same rows/series the paper
+// reports, alongside the paper's value where applicable.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace ipfsmon::bench {
+
+/// Minimal --key=value flag parser shared by the experiment binaries.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg(argv[i]);
+      if (arg.rfind("--", 0) != 0) continue;
+      arg.remove_prefix(2);
+      const auto eq = arg.find('=');
+      if (eq == std::string_view::npos) {
+        values_[std::string(arg)] = "1";
+      } else {
+        values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+      }
+    }
+  }
+
+  double get(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  }
+
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+inline void print_header(std::string_view experiment, std::string_view paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%.*s\n", static_cast<int>(experiment.size()), experiment.data());
+  std::printf("reproduces: %.*s\n", static_cast<int>(paper_ref.size()),
+              paper_ref.data());
+  std::printf("==============================================================\n");
+}
+
+inline void print_section(std::string_view title) {
+  std::printf("\n--- %.*s ---\n", static_cast<int>(title.size()), title.data());
+}
+
+/// One "paper vs measured" comparison row.
+inline void print_comparison(std::string_view metric, std::string_view paper,
+                             std::string_view measured) {
+  std::printf("  %-46s paper: %-16s measured: %s\n",
+              std::string(metric).c_str(), std::string(paper).c_str(),
+              std::string(measured).c_str());
+}
+
+inline void print_comparison(std::string_view metric, double paper,
+                             double measured, const char* fmt = "%.2f") {
+  print_comparison(metric, util::format(fmt, paper), util::format(fmt, measured));
+}
+
+}  // namespace ipfsmon::bench

@@ -1,0 +1,69 @@
+// Extension bench: gateway cache analysis via Che's approximation (the
+// paper's ref. [28], Fricker/Robert/Roberts) fed with *measured* popularity.
+// The paper motivates its popularity scores as "an important building block
+// for the formal analysis of cache hit ratios (especially relevant for IPFS
+// gateways)" — this harness closes that loop:
+//   1. run a monitoring study, compute RRP popularity from the traces,
+//   2. feed the measured distribution into Che's LRU model,
+//   3. compare the prediction against a simulated LRU cache under the same
+//      workload, across cache sizes.
+//
+// Flags: --nodes= --hours= --seed=
+#include "analysis/cache_model.hpp"
+#include "analysis/popularity.hpp"
+#include "bench_common.hpp"
+#include "scenario/study.hpp"
+
+using namespace ipfsmon;
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  scenario::StudyConfig config;
+  config.seed = flags.get_u64("seed", 42);
+  config.population.node_count = static_cast<std::size_t>(flags.get("nodes", 300));
+  config.catalog.item_count = 4000;
+  config.warmup = 6 * util::kHour;
+  config.duration = static_cast<util::SimDuration>(
+      flags.get("hours", 16.0) * static_cast<double>(util::kHour));
+
+  bench::print_header("exp_cache_model",
+                      "extension: LRU cache-hit prediction from measured "
+                      "popularity (Che's approximation, paper ref. [28])");
+
+  scenario::MonitoringStudy study(config);
+  study.run();
+
+  const trace::Trace unified = study.unified_trace();
+  const auto scores = analysis::compute_popularity(unified);
+  const std::vector<double> weights = scores.rrp_values();
+  std::printf("measured popularity over %zu distinct CIDs "
+              "(RRP from the deduplicated trace)\n", weights.size());
+
+  bench::print_section("Che prediction vs simulated LRU, by cache size");
+  std::printf("  %-12s %-14s %-14s %-10s\n", "cache items", "Che hit ratio",
+              "simulated LRU", "abs error");
+  double worst = 0.0;
+  for (const double frac : {0.005, 0.01, 0.02, 0.05, 0.10, 0.25, 0.50}) {
+    const auto cache_items = static_cast<std::size_t>(
+        frac * static_cast<double>(weights.size()));
+    if (cache_items == 0) continue;
+    const auto prediction = analysis::che_hit_ratio(weights, cache_items);
+    const double simulated = analysis::simulate_lru_hit_ratio(
+        weights, cache_items, 300000, config.seed + cache_items);
+    const double err = std::abs(prediction.hit_ratio - simulated);
+    worst = std::max(worst, err);
+    std::printf("  %-12zu %-14.4f %-14.4f %-10.4f\n", cache_items,
+                prediction.hit_ratio, simulated, err);
+  }
+  std::printf("\n  worst absolute error: %.4f — Che's approximation is known\n"
+              "  to be near-exact for LRU under IRM (ref. [28]); large errors\n"
+              "  would indicate a modelling bug.\n", worst);
+
+  bench::print_section("application: sizing a gateway cache");
+  const auto p50 = analysis::che_hit_ratio(weights, weights.size() / 20);
+  std::printf("  a cache holding 5%% of observed CIDs already serves %.0f%%\n"
+              "  of repeat requests — the skew the paper measures is what\n"
+              "  makes Cloudflare-style 97%% hit ratios attainable.\n",
+              100.0 * p50.hit_ratio);
+  return 0;
+}

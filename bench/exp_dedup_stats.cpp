@@ -1,0 +1,69 @@
+// Experiment: Sec. IV-B — trace preprocessing statistics. The paper reports
+// that repeated 30 s re-broadcasts make up a significant portion of all
+// requests (>50% of raw entries), and flags inter-monitor duplicates with a
+// 5 s window. This harness measures both shares and sweeps the window sizes
+// to show the sensitivity the paper alludes to ("in theory a balance
+// between the 5 s and 31 s windows must be found").
+//
+// Flags: --nodes= --hours= --seed=
+#include "bench_common.hpp"
+#include "scenario/study.hpp"
+#include "trace/preprocess.hpp"
+
+using namespace ipfsmon;
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  scenario::StudyConfig config;
+  config.seed = flags.get_u64("seed", 42);
+  config.population.node_count = static_cast<std::size_t>(flags.get("nodes", 400));
+  config.catalog.item_count = 5000;
+  config.warmup = 8 * util::kHour;
+  config.duration = static_cast<util::SimDuration>(
+      flags.get("hours", 24.0) * static_cast<double>(util::kHour));
+
+  bench::print_header("exp_dedup_stats",
+                      "Sec. IV-B: preprocessing — re-broadcast and "
+                      "inter-monitor duplicate shares + window sweep");
+
+  scenario::MonitoringStudy study(config);
+  study.run();
+
+  const trace::Trace unified = study.unified_trace();
+  const trace::TraceStats stats = trace::compute_stats(unified);
+
+  bench::print_section("default windows (5 s / 31 s)");
+  std::printf("  unified entries: %zu (%zu requests, %zu cancels)\n",
+              stats.total, stats.requests, stats.cancels);
+  bench::print_comparison("re-broadcast share of requests (paper: >0.50)",
+                          0.50, trace::rebroadcast_share(unified));
+  std::printf("  inter-monitor duplicates: %zu (%.1f%% of entries)\n",
+              stats.inter_monitor_duplicates,
+              100.0 * static_cast<double>(stats.inter_monitor_duplicates) /
+                  static_cast<double>(stats.total));
+  std::printf("  clean entries after both filters: %zu (%.1f%%)\n",
+              stats.clean,
+              100.0 * static_cast<double>(stats.clean) /
+                  static_cast<double>(stats.total));
+
+  bench::print_section("window sweep (marked share vs window size)");
+  std::printf("  %-22s %-22s %s\n", "rebroadcast window", "rebroadcast share",
+              "duplicate share");
+  for (const double rebroadcast_s : {5.0, 15.0, 31.0, 62.0, 120.0}) {
+    trace::PreprocessOptions options;
+    options.rebroadcast_window = static_cast<util::SimDuration>(
+        rebroadcast_s * static_cast<double>(util::kSecond));
+    std::vector<const trace::Trace*> traces;
+    for (auto* m : study.monitors()) traces.push_back(&m->recorded());
+    const trace::Trace swept = trace::unify(traces, options);
+    const trace::TraceStats s = trace::compute_stats(swept);
+    std::printf("  %-22.0f %-22.3f %.3f\n", rebroadcast_s,
+                trace::rebroadcast_share(swept),
+                static_cast<double>(s.inter_monitor_duplicates) /
+                    static_cast<double>(s.total));
+  }
+  std::printf("\n  expectation: the share saturates just above the 30 s\n"
+              "  re-broadcast period — the paper's 31 s window sits exactly\n"
+              "  at that knee.\n");
+  return 0;
+}

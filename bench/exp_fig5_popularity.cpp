@@ -1,0 +1,109 @@
+// Experiment: Figure 5 — ECDFs of the two content-popularity scores over
+// the unified deduplicated week trace:
+//   (a) RRP, raw request popularity (total requests per CID),
+//   (b) URP, unique request popularity (distinct requesting peers per CID).
+// Paper findings reproduced here:
+//   * both distributions are heavily skewed with a majority of "unpopular"
+//     CIDs; >80% of CIDs were requested by exactly one peer,
+//   * the Clauset-Shalizi-Newman power-law test REJECTS the power-law
+//     hypothesis (p < 0.1) for both scores,
+//   * top-RRP CIDs are often unresolvable (stalled fetches re-broadcast);
+//     top-URP CIDs are resolvable.
+//
+// Flags: --nodes= --hours= --seed= --bootstrap_rounds=
+#include "analysis/ecdf.hpp"
+#include "analysis/popularity.hpp"
+#include "analysis/powerlaw.hpp"
+#include "bench_common.hpp"
+#include "scenario/study.hpp"
+
+using namespace ipfsmon;
+
+namespace {
+
+void print_ecdf(const char* name, const analysis::Ecdf& ecdf) {
+  std::printf("  ECDF of %s (%zu CIDs): value -> F(value)\n", name,
+              ecdf.sample_count());
+  for (const auto& [x, f] : ecdf.points(12)) {
+    std::printf("    %10.0f  %.4f\n", x, f);
+  }
+}
+
+void run_powerlaw(const char* name, const std::vector<double>& values,
+                  util::RngStream& rng, std::size_t rounds) {
+  const analysis::PowerLawTest test =
+      analysis::test_power_law(values, rng, rounds);
+  std::printf("  %s: alpha=%.2f xmin=%.0f KS=%.4f tail=%zu p=%.3f -> %s "
+              "[paper: p < 0.1, REJECTED for any xmin]\n",
+              name, test.fit.alpha, test.fit.xmin, test.fit.ks_distance,
+              test.fit.tail_size, test.p_value,
+              test.rejected() ? "REJECTED (matches)" : "NOT REJECTED (mismatch!)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  scenario::StudyConfig config;
+  config.seed = flags.get_u64("seed", 42);
+  config.population.node_count = static_cast<std::size_t>(flags.get("nodes", 600));
+  config.catalog.item_count = 10000;
+  config.warmup = 8 * util::kHour;
+  config.duration = static_cast<util::SimDuration>(
+      flags.get("hours", 72.0) * static_cast<double>(util::kHour));
+
+  bench::print_header("exp_fig5_popularity",
+                      "Fig. 5: ECDFs of content popularity (RRP & URP) + "
+                      "power-law rejection (Sec. V-E)");
+
+  scenario::MonitoringStudy study(config);
+  study.run();
+
+  const trace::Trace unified = study.unified_trace();
+  const auto scores = analysis::compute_popularity(unified);
+
+  bench::print_section("Fig. 5a: raw request popularity (RRP)");
+  analysis::Ecdf rrp_ecdf(scores.rrp_values());
+  print_ecdf("RRP", rrp_ecdf);
+
+  bench::print_section("Fig. 5b: unique request popularity (URP)");
+  analysis::Ecdf urp_ecdf(scores.urp_values());
+  print_ecdf("URP", urp_ecdf);
+
+  bench::print_section("skew checks vs paper");
+  bench::print_comparison("share of CIDs with URP = 1 (paper: >0.80)", 0.80,
+                          scores.single_requester_share());
+  std::printf("  URP ECDF at 1: %.3f, RRP ECDF at 2: %.3f "
+              "(majority 'unpopular' in both)\n",
+              urp_ecdf.at(1.0), rrp_ecdf.at(2.0));
+
+  bench::print_section("power-law hypothesis (Clauset-Shalizi-Newman)");
+  util::RngStream rng(config.seed, "powerlaw-bench");
+  const std::size_t rounds = flags.get_u64("bootstrap_rounds", 100);
+  run_powerlaw("RRP", scores.rrp_values(), rng, rounds);
+  run_powerlaw("URP", scores.urp_values(), rng, rounds);
+
+  bench::print_section("top CIDs: resolvability (paper Sec. V-E)");
+  // The paper notes top-RRP CIDs are often unresolvable (re-broadcast
+  // inflation) while top-URP CIDs resolve. Check against catalog truth.
+  auto resolvable = [&](const cid::Cid& c) {
+    for (const auto& item : study.catalog().items()) {
+      if (item.root == c) return item.resolvable;
+    }
+    return false;  // one-off not in catalog: hosted ad hoc or unresolvable
+  };
+  std::size_t rrp_unresolvable = 0, urp_resolvable = 0;
+  const auto top_rrp = scores.top_rrp(10);
+  const auto top_urp = scores.top_urp(10);
+  for (const auto& [c, score] : top_rrp) {
+    if (!resolvable(c)) ++rrp_unresolvable;
+  }
+  for (const auto& [c, score] : top_urp) {
+    if (resolvable(c)) ++urp_resolvable;
+  }
+  std::printf("  top-10 RRP unresolvable: %zu/10 (paper: 'often not resolvable')\n",
+              rrp_unresolvable);
+  std::printf("  top-10 URP resolvable:   %zu/10 (paper: all ten resolvable)\n",
+              urp_resolvable);
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Experiment: Sec. VI-B — gateway probing. Links public HTTP gateways to
+// their hidden IPFS node IDs via unique random probe blocks, repeated runs,
+// and cross-referencing. Reproduced findings:
+//   * node IDs discovered for ALL functional public gateways,
+//   * some broken-HTTP gateways still reveal their node via Bitswap,
+//   * several gateways are backed by multiple IPFS nodes; one prominent
+//     operator has 13 (Cloudflare — confirmed by its operators),
+//   * 93 gateway node IDs in total in the paper; here, the fleet total,
+//   * discovered IDs/IPs cross-referenced against monitor peer lists.
+//
+// Flags: --nodes= --seed= --repeats=
+#include "attacks/gateway_probe.hpp"
+#include "attacks/trace_attacks.hpp"
+#include "bench_common.hpp"
+#include "scenario/study.hpp"
+
+using namespace ipfsmon;
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  scenario::StudyConfig config;
+  config.seed = flags.get_u64("seed", 42);
+  config.population.node_count = static_cast<std::size_t>(flags.get("nodes", 300));
+  config.catalog.item_count = 2000;
+  config.warmup = 8 * util::kHour;
+
+  bench::print_header("exp_gateway_probing",
+                      "Sec. VI-B: linking public gateways to IPFS node IDs "
+                      "(IDW + probing + cross-referencing)");
+
+  scenario::MonitoringStudy study(config);
+  study.run_warmup();
+  auto* fleet = study.gateways();
+
+  attacks::GatewayProber prober(study.network(), study.monitors(),
+                                attacks::GatewayProbeConfig{},
+                                util::RngStream(config.seed, "probe-bench"));
+  attacks::GatewayCensus census;
+
+  // Repeated probing runs (the paper probed from two hosts on two dates,
+  // then regularly from the German monitor).
+  const std::size_t repeats = flags.get_u64("repeats", 2);
+  std::size_t http_ok_probes = 0, broken_identified = 0, total_probes = 0;
+  for (std::size_t round = 0; round < repeats; ++round) {
+    for (const auto& name : fleet->operator_names()) {
+      const auto* spec = fleet->spec_of(name);
+      for (auto* gw : fleet->nodes_of(name)) {
+        ++total_probes;
+        if (spec->http_broken) {
+          // Broken HTTP front: the request dies, but a misconfigured
+          // internal process still fetches over Bitswap.
+          prober.probe_with_trigger(
+              name, [gw](const cid::Cid& c) { gw->node().fetch(c, nullptr); },
+              [&](attacks::GatewayProbeResult r) {
+                if (!r.discovered_nodes.empty()) ++broken_identified;
+                census.record(r);
+              });
+        } else {
+          prober.probe(name, *gw, [&](attacks::GatewayProbeResult r) {
+            if (r.http_ok) ++http_ok_probes;
+            census.record(r);
+          });
+        }
+      }
+      study.scheduler().run_until(study.scheduler().now() + 2 * util::kMinute);
+    }
+  }
+  study.scheduler().run_until(study.scheduler().now() + 5 * util::kMinute);
+
+  // --- Results ---------------------------------------------------------------
+  bench::print_section("discovery results");
+  std::size_t truth_total = 0;
+  std::size_t fully_discovered = 0;
+  for (const auto& [name, ids] : fleet->ground_truth()) truth_total += ids.size();
+  std::printf("  %-28s %8s %8s %s\n", "gateway", "truth", "found", "complete?");
+  for (const auto& [name, truth_ids] : fleet->ground_truth()) {
+    const auto found = census.nodes_of(name);
+    std::set<crypto::PeerId> truth_set(truth_ids.begin(), truth_ids.end());
+    std::size_t correct = 0;
+    for (const auto& id : found) {
+      if (truth_set.count(id) != 0) ++correct;
+    }
+    const bool complete = correct == truth_ids.size();
+    if (complete) ++fully_discovered;
+    std::printf("  %-28s %8zu %8zu %s\n", name.c_str(), truth_ids.size(),
+                found.size(), complete ? "yes" : "NO");
+  }
+
+  bench::print_section("paper-vs-measured");
+  bench::print_comparison(
+      "functional gateways fully identified",
+      std::string("all"),
+      util::format("%zu/%zu operators", fully_discovered,
+                   fleet->ground_truth().size()));
+  std::printf("  broken-HTTP gateways still identified: %zu "
+              "(paper: 'we also discovered node IDs for some of the "
+              "non-functional gateways')\n", broken_identified);
+  bench::print_comparison("total gateway node IDs",
+                          std::string("93 (grows over time)"),
+                          util::format("%zu of %zu ground truth",
+                                       census.total_gateway_nodes(),
+                                       truth_total));
+  const auto multi = census.multi_node_gateways();
+  std::printf("  multi-node gateways discovered: %zu  [paper: several; one "
+              "prominent operator with 13 nodes]\n", multi.size());
+  for (const auto& [name, count] : multi) {
+    std::printf("    %-28s %zu nodes%s\n", name.c_str(), count,
+                count == 13 ? "  <- the Cloudflare-scale operator" : "");
+  }
+
+  // --- Cross-referencing with monitor peer lists (Sec. VI-B2). ---------------
+  bench::print_section("cross-referencing with monitor observations");
+  std::size_t seen_by_monitors = 0;
+  for (const auto& name : census.gateway_names()) {
+    for (const auto& id : census.nodes_of(name)) {
+      for (auto* m : study.monitors()) {
+        if (m->peers_seen().count(id) != 0) {
+          ++seen_by_monitors;
+          break;
+        }
+      }
+    }
+  }
+  std::printf("  discovered gateway nodes also present in monitor peer "
+              "lists: %zu/%zu\n", seen_by_monitors,
+              census.total_gateway_nodes());
+  return 0;
+}

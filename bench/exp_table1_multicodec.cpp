@@ -1,0 +1,74 @@
+// Experiment: Table I — share of data requests by multicodec, derived from
+// the raw (unprocessed) traces of both monitors, counting requested entries
+// only (no CANCELs). Paper (Mar 2020–Jun 2021):
+//   DagProtobuf 86.21% | Raw 13.42% | DagCBOR 0.37% | GitRaw <0.01%
+//   EthereumTx <0.01%  | Others (8) <0.01%
+//
+// Flags: --nodes= --hours= --seed=
+#include "analysis/aggregate.hpp"
+#include "bench_common.hpp"
+#include "scenario/study.hpp"
+
+using namespace ipfsmon;
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  scenario::StudyConfig config;
+  config.seed = flags.get_u64("seed", 42);
+  config.population.node_count = static_cast<std::size_t>(flags.get("nodes", 500));
+  config.catalog.item_count = 12000;
+  config.warmup = 8 * util::kHour;
+  config.duration = static_cast<util::SimDuration>(
+      flags.get("hours", 30.0) * static_cast<double>(util::kHour));
+
+  bench::print_header("exp_table1_multicodec",
+                      "Table I: share of data requests by multicodec "
+                      "(raw traces, requests only)");
+
+  scenario::MonitoringStudy study(config);
+  study.run();
+
+  // Raw, unprocessed traces of both monitors, merged without dedup — the
+  // paper's Table I explicitly uses raw traces.
+  trace::Trace raw;
+  for (auto* m : study.monitors()) raw.merge_from(m->recorded());
+
+  const auto rows = analysis::share_by_codec(raw);
+  std::uint64_t total = 0;
+  for (const auto& r : rows) total += r.count;
+  std::printf("total raw requests collected: %llu "
+              "(paper: 2.78e10 over fifteen months)\n",
+              static_cast<unsigned long long>(total));
+
+  bench::print_section("Table I (measured)");
+  std::printf("  %-14s %14s %10s   %s\n", "Codec", "Count", "Share(%)",
+              "paper share");
+  const std::map<std::string, std::string> paper_shares = {
+      {"DagProtobuf", "86.21"}, {"Raw", "13.42"},   {"DagCBOR", "0.37"},
+      {"GitRaw", "<0.01"},      {"EthereumTx", "<0.01"},
+      {"DagJSON", "<0.01"},     {"EthereumBlock", "<0.01"},
+  };
+  for (const auto& r : rows) {
+    const auto it = paper_shares.find(r.label);
+    std::printf("  %-14s %14llu %9.2f%%   %s\n", r.label.c_str(),
+                static_cast<unsigned long long>(r.count), r.share_percent,
+                it != paper_shares.end() ? it->second.c_str() : "-");
+  }
+
+  bench::print_section("shape checks vs paper");
+  const auto share_of = [&](std::string_view name) {
+    for (const auto& r : rows) {
+      if (r.label == name) return r.share_percent;
+    }
+    return 0.0;
+  };
+  bench::print_comparison("DagProtobuf share (%)", 86.21, share_of("DagProtobuf"));
+  bench::print_comparison("Raw share (%)", 13.42, share_of("Raw"));
+  bench::print_comparison("DagCBOR share (%)", 0.37, share_of("DagCBOR"));
+  std::printf("  ordering DagProtobuf > Raw > DagCBOR > rest: %s\n",
+              share_of("DagProtobuf") > share_of("Raw") &&
+                      share_of("Raw") > share_of("DagCBOR")
+                  ? "YES (matches)"
+                  : "NO (mismatch!)");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the monitoring
+// pipeline: hashing, CID codecs, routing-table ops, trace preprocessing,
+// popularity scoring, and the estimator solver.
+#include <benchmark/benchmark.h>
+
+#include "analysis/estimators.hpp"
+#include "analysis/popularity.hpp"
+#include "analysis/powerlaw.hpp"
+#include "cid/cid.hpp"
+#include "crypto/sha256.hpp"
+#include "dht/routing_table.hpp"
+#include "trace/preprocess.hpp"
+#include "util/base58.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ipfsmon;
+
+void BM_Sha256(benchmark::State& state) {
+  util::RngStream rng(1, "bm");
+  util::Bytes data(static_cast<std::size_t>(state.range(0)));
+  rng.fill_bytes(data.data(), data.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha256(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(262144);
+
+void BM_CidEncodeParse(benchmark::State& state) {
+  const cid::Cid c =
+      cid::Cid::of_data(cid::Multicodec::Raw, util::bytes_of("bench block"));
+  for (auto _ : state) {
+    const std::string s = c.to_string();
+    benchmark::DoNotOptimize(cid::Cid::from_string(s));
+  }
+}
+BENCHMARK(BM_CidEncodeParse);
+
+void BM_Base58Encode(benchmark::State& state) {
+  util::RngStream rng(2, "bm58");
+  util::Bytes data(34);
+  rng.fill_bytes(data.data(), data.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::base58_encode(data));
+  }
+}
+BENCHMARK(BM_Base58Encode);
+
+void BM_RoutingTableClosest(benchmark::State& state) {
+  util::RngStream rng(3, "bmrt");
+  const crypto::PeerId self = crypto::KeyPair::generate(rng).peer_id();
+  dht::RoutingTable table(self);
+  for (int i = 0; i < 200; ++i) {
+    table.add(crypto::KeyPair::generate(rng).peer_id());
+  }
+  const dht::Key target = dht::key_of(crypto::KeyPair::generate(rng).peer_id());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.closest(target, 20));
+  }
+}
+BENCHMARK(BM_RoutingTableClosest);
+
+trace::Trace make_trace(std::size_t n) {
+  util::RngStream rng(4, "bmtrace");
+  std::vector<crypto::PeerId> peers;
+  std::vector<cid::Cid> cids;
+  for (int i = 0; i < 50; ++i) {
+    peers.push_back(crypto::KeyPair::generate(rng).peer_id());
+    cids.push_back(cid::Cid::of_data(
+        cid::Multicodec::Raw, util::bytes_of("c" + std::to_string(i))));
+  }
+  trace::Trace t;
+  for (std::size_t i = 0; i < n; ++i) {
+    trace::TraceEntry e;
+    e.timestamp = static_cast<util::SimTime>(rng.uniform_index(3600)) *
+                  util::kSecond;
+    e.peer = peers[rng.uniform_index(peers.size())];
+    e.cid = cids[rng.uniform_index(cids.size())];
+    e.monitor = static_cast<trace::MonitorId>(rng.uniform_index(2));
+    t.append(std::move(e));
+  }
+  t.sort_by_time();
+  return t;
+}
+
+void BM_TracePreprocess(benchmark::State& state) {
+  trace::Trace t = make_trace(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    trace::mark_flags(t);
+    benchmark::DoNotOptimize(t.entries().data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TracePreprocess)->Arg(1000)->Arg(100000);
+
+void BM_PopularityScoring(benchmark::State& state) {
+  const trace::Trace t = make_trace(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::compute_popularity(t, false));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PopularityScoring)->Arg(1000)->Arg(100000);
+
+void BM_CommitteeEstimator(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::estimate_committee(9628, 2, 7465.0));
+  }
+}
+BENCHMARK(BM_CommitteeEstimator);
+
+void BM_PowerLawAlphaFit(benchmark::State& state) {
+  util::RngStream rng(5, "bmpl");
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) {
+    samples.push_back(analysis::sample_discrete_power_law(rng, 1.0, 2.3));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::fit_alpha_discrete(samples, 1.0));
+  }
+}
+BENCHMARK(BM_PowerLawAlphaFit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,135 @@
+// trace_report — a standalone analysis CLI over saved traces.
+//
+// Load one or more monitor traces (CSV or binary, as written by
+// trace::save_csv / save_binary), unify them with the paper's 5 s / 31 s
+// windows, and print the full analysis report: preprocessing stats,
+// activity by type/codec/country, popularity (RRP/URP + power-law test),
+// and the most active peers.
+//
+// Usage: trace_report <trace-file> [<trace-file> ...]
+//        trace_report --demo        (generate a demo trace first)
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "analysis/aggregate.hpp"
+#include "analysis/popularity.hpp"
+#include "analysis/powerlaw.hpp"
+#include "scenario/study.hpp"
+#include "trace/io.hpp"
+#include "trace/preprocess.hpp"
+#include "util/strings.hpp"
+
+using namespace ipfsmon;
+
+namespace {
+
+
+
+void report(const trace::Trace& unified, const net::GeoDatabase& geo) {
+  const trace::TraceStats stats = trace::compute_stats(unified);
+  std::printf("entries: %zu (%zu requests, %zu cancels)\n", stats.total,
+              stats.requests, stats.cancels);
+  std::printf("peers:   %zu unique   cids: %zu unique\n", stats.unique_peers,
+              stats.unique_cids);
+  std::printf("flags:   %zu re-broadcasts (%.1f%% of requests), "
+              "%zu inter-monitor duplicates\n",
+              stats.rebroadcasts, 100.0 * trace::rebroadcast_share(unified),
+              stats.inter_monitor_duplicates);
+
+  std::printf("\nrequests by type:\n");
+  for (const auto& row : analysis::share_by(
+           unified, [](const trace::TraceEntry& e) {
+             return std::string(bitswap::want_type_name(e.type));
+           })) {
+    std::printf("  %-12s %10llu  %6.2f%%\n", row.label.c_str(),
+                static_cast<unsigned long long>(row.count), row.share_percent);
+  }
+
+  std::printf("\nrequests by codec:\n");
+  for (const auto& row : analysis::share_by_codec(unified)) {
+    std::printf("  %-14s %10llu  %6.2f%%\n", row.label.c_str(),
+                static_cast<unsigned long long>(row.count), row.share_percent);
+  }
+
+  std::printf("\nrequests by country (deduplicated):\n");
+  const auto by_country = analysis::share_by_country(unified.deduplicated(), geo);
+  for (std::size_t i = 0; i < by_country.size() && i < 8; ++i) {
+    std::printf("  %-6s %10llu  %6.2f%%\n", by_country[i].label.c_str(),
+                static_cast<unsigned long long>(by_country[i].count),
+                by_country[i].share_percent);
+  }
+
+  const auto popularity = analysis::compute_popularity(unified);
+  std::printf("\npopularity: %zu scored CIDs, %.1f%% requested by one peer\n",
+              popularity.urp.size(),
+              100.0 * popularity.single_requester_share());
+  std::printf("top CIDs by unique requesters:\n");
+  for (const auto& [cid, score] : popularity.top_urp(5)) {
+    std::printf("  %-16s URP=%llu RRP=%llu\n", cid.short_hex().c_str(),
+                static_cast<unsigned long long>(score),
+                static_cast<unsigned long long>(popularity.rrp.at(cid)));
+  }
+
+  util::RngStream rng(1, "trace-report");
+  const auto test = analysis::test_power_law(popularity.urp_values(), rng, 40);
+  std::printf("\npower-law hypothesis on URP: alpha=%.2f xmin=%.0f p=%.3f "
+              "-> %s\n", test.fit.alpha, test.fit.xmin, test.p_value,
+              test.rejected() ? "REJECTED" : "not rejected");
+
+  std::printf("\nmost active peers:\n");
+  const auto per_peer = analysis::requests_per_peer(unified);
+  for (std::size_t i = 0; i < per_peer.size() && i < 5; ++i) {
+    std::printf("  %s  %llu requests\n", per_peer[i].first.short_hex().c_str(),
+                static_cast<unsigned long long>(per_peer[i].second));
+  }
+}
+
+std::string make_demo_trace() {
+  std::printf("generating a demo trace (small monitoring study)...\n");
+  scenario::StudyConfig config;
+  config.population.node_count = 150;
+  config.catalog.item_count = 400;
+  config.warmup = 2 * util::kHour;
+  config.duration = 6 * util::kHour;
+  scenario::MonitoringStudy study(config);
+  study.run();
+  const std::string path = "/tmp/ipfsmon_demo_trace.csv";
+  trace::save_csv(path, study.monitor(0).recorded());
+  const std::string path1 = "/tmp/ipfsmon_demo_trace_m1.bin";
+  trace::save_binary(path1, study.monitor(1).recorded());
+  std::printf("wrote %s and %s\n\n", path.c_str(), path1.c_str());
+  return path + " " + path1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  if (argc < 2 || std::strcmp(argv[1], "--demo") == 0) {
+    const std::string demo = make_demo_trace();
+    for (const auto& p : util::split(demo, ' ')) paths.push_back(p);
+  } else {
+    for (int i = 1; i < argc; ++i) paths.emplace_back(argv[i]);
+  }
+
+  std::vector<trace::Trace> traces;
+  for (const auto& path : paths) {
+    auto t = trace::load_any(path);
+    if (!t) {
+      std::fprintf(stderr, "error: cannot parse %s (neither binary nor CSV)\n",
+                   path.c_str());
+      return 1;
+    }
+    std::printf("loaded %s: %zu entries\n", path.c_str(), t->size());
+    traces.push_back(std::move(*t));
+  }
+
+  std::vector<const trace::Trace*> pointers;
+  for (const auto& t : traces) pointers.push_back(&t);
+  const trace::Trace unified = trace::unify(pointers);
+
+  std::printf("\n=== unified trace report ===\n");
+  report(unified, net::GeoDatabase::standard());
+  return 0;
+}

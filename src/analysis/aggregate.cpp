@@ -1,0 +1,116 @@
+#include "analysis/aggregate.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "cid/multicodec.hpp"
+
+namespace ipfsmon::analysis {
+
+namespace {
+std::vector<ShareRow> to_share_rows(
+    std::unordered_map<std::string, std::uint64_t> counts) {
+  std::uint64_t total = 0;
+  for (const auto& [label, count] : counts) total += count;
+  std::vector<ShareRow> rows;
+  rows.reserve(counts.size());
+  for (auto& [label, count] : counts) {
+    const double share = total == 0 ? 0.0
+                                    : 100.0 * static_cast<double>(count) /
+                                          static_cast<double>(total);
+    rows.push_back(ShareRow{label, count, share});
+  }
+  std::sort(rows.begin(), rows.end(), [](const ShareRow& a, const ShareRow& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.label < b.label;
+  });
+  return rows;
+}
+}  // namespace
+
+std::vector<ShareRow> share_by(
+    const trace::Trace& trace,
+    const std::function<std::string(const trace::TraceEntry&)>& group) {
+  std::unordered_map<std::string, std::uint64_t> counts;
+  for (const auto& e : trace.entries()) {
+    if (!e.is_request()) continue;
+    ++counts[group(e)];
+  }
+  return to_share_rows(std::move(counts));
+}
+
+std::vector<ShareRow> share_by_codec(const trace::Trace& raw) {
+  return share_by(raw, [](const trace::TraceEntry& e) {
+    return std::string(cid::multicodec_name(e.cid.codec()));
+  });
+}
+
+std::vector<ShareRow> share_by_country(const trace::Trace& deduplicated,
+                                       const net::GeoDatabase& geo) {
+  return share_by(deduplicated, [&geo](const trace::TraceEntry& e) {
+    return geo.lookup(e.address);
+  });
+}
+
+std::vector<TypeBucket> requests_by_type_over_time(const trace::Trace& trace,
+                                                   util::SimDuration bucket) {
+  std::map<util::SimTime, TypeBucket> buckets;
+  for (const auto& e : trace.entries()) {
+    if (!e.is_request()) continue;
+    const util::SimTime start = (e.timestamp / bucket) * bucket;
+    TypeBucket& b = buckets[start];
+    b.bucket_start = start;
+    if (e.type == bitswap::WantType::WantBlock) {
+      ++b.want_block;
+    } else {
+      ++b.want_have;
+    }
+  }
+  std::vector<TypeBucket> out;
+  out.reserve(buckets.size());
+  for (const auto& [start, b] : buckets) out.push_back(b);
+  return out;
+}
+
+std::vector<GroupRateBucket> request_rate_by_group(
+    const trace::Trace& deduplicated,
+    const std::function<std::string(const crypto::PeerId&)>& group_of,
+    util::SimDuration bucket) {
+  std::map<util::SimTime, std::map<std::string, std::uint64_t>> counts;
+  for (const auto& e : deduplicated.entries()) {
+    if (!e.is_request()) continue;
+    const util::SimTime start = (e.timestamp / bucket) * bucket;
+    ++counts[start][group_of(e.peer)];
+  }
+  const double bucket_seconds = util::to_seconds(bucket);
+  std::vector<GroupRateBucket> out;
+  out.reserve(counts.size());
+  for (const auto& [start, groups] : counts) {
+    GroupRateBucket b;
+    b.bucket_start = start;
+    for (const auto& [group, count] : groups) {
+      b.rate_per_second[group] =
+          static_cast<double>(count) / bucket_seconds;
+    }
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+std::vector<std::pair<crypto::PeerId, std::uint64_t>> requests_per_peer(
+    const trace::Trace& trace) {
+  std::unordered_map<crypto::PeerId, std::uint64_t> counts;
+  for (const auto& e : trace.entries()) {
+    if (!e.is_request()) continue;
+    ++counts[e.peer];
+  }
+  std::vector<std::pair<crypto::PeerId, std::uint64_t>> out(counts.begin(),
+                                                            counts.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace ipfsmon::analysis

@@ -1,0 +1,60 @@
+// Trace aggregations behind the paper's tables and time-series figures:
+// Table I (share by multicodec), Table II (share by country), Fig. 4
+// (requests per day by entry type), Fig. 6 (request rate per origin group).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/geo.hpp"
+#include "trace/trace.hpp"
+
+namespace ipfsmon::analysis {
+
+struct ShareRow {
+  std::string label;
+  std::uint64_t count = 0;
+  double share_percent = 0.0;
+};
+
+/// Table I: request counts per multicodec (raw, as the paper derives it —
+/// requested entries only, no CANCELs, unprocessed traces).
+std::vector<ShareRow> share_by_codec(const trace::Trace& raw);
+
+/// Table II: request shares per origin country over the deduplicated
+/// trace, resolved through the (synthetic) GeoIP database.
+std::vector<ShareRow> share_by_country(const trace::Trace& deduplicated,
+                                       const net::GeoDatabase& geo);
+
+/// Generic grouped share table.
+std::vector<ShareRow> share_by(
+    const trace::Trace& trace,
+    const std::function<std::string(const trace::TraceEntry&)>& group);
+
+/// Fig. 4: per-bucket counts of WANT_BLOCK vs WANT_HAVE request entries.
+struct TypeBucket {
+  util::SimTime bucket_start = 0;
+  std::uint64_t want_block = 0;
+  std::uint64_t want_have = 0;
+};
+std::vector<TypeBucket> requests_by_type_over_time(
+    const trace::Trace& trace, util::SimDuration bucket = util::kDay);
+
+/// Fig. 6: request rate (entries/s) per origin group over time buckets.
+struct GroupRateBucket {
+  util::SimTime bucket_start = 0;
+  std::map<std::string, double> rate_per_second;
+};
+std::vector<GroupRateBucket> request_rate_by_group(
+    const trace::Trace& deduplicated,
+    const std::function<std::string(const crypto::PeerId&)>& group_of,
+    util::SimDuration bucket = util::kHour);
+
+/// Requests per peer (activity structure helper).
+std::vector<std::pair<crypto::PeerId, std::uint64_t>> requests_per_peer(
+    const trace::Trace& trace);
+
+}  // namespace ipfsmon::analysis

@@ -1,0 +1,112 @@
+#include "analysis/cache_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <list>
+#include <unordered_map>
+
+#include "util/rng.hpp"
+
+namespace ipfsmon::analysis {
+
+CachePrediction che_hit_ratio(const std::vector<double>& weights,
+                              std::size_t cache_items) {
+  CachePrediction out;
+  if (weights.empty() || cache_items == 0) return out;
+  if (cache_items >= weights.size()) {
+    // Cache fits the whole catalog: every (repeat) request hits.
+    out.per_item_hit.assign(weights.size(), 1.0);
+    out.hit_ratio = 1.0;
+    out.characteristic_time = std::numeric_limits<double>::infinity();
+    return out;
+  }
+
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) return out;
+
+  // Normalized request rates λ_i.
+  std::vector<double> rates(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    rates[i] = weights[i] / total;
+  }
+
+  const auto occupancy = [&](double t) {
+    double acc = 0.0;
+    for (double rate : rates) acc += 1.0 - std::exp(-rate * t);
+    return acc;
+  };
+
+  // Bisection for Σ(1 − e^{−λT}) = C. Occupancy is 0 at T=0 and →N as
+  // T→∞, strictly increasing.
+  double lo = 0.0;
+  double hi = 1.0;
+  const double target = static_cast<double>(cache_items);
+  while (occupancy(hi) < target) {
+    hi *= 2.0;
+    if (hi > 1e18) break;
+  }
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (occupancy(mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double t_c = 0.5 * (lo + hi);
+
+  out.characteristic_time = t_c;
+  out.per_item_hit.resize(rates.size());
+  double hit = 0.0;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    out.per_item_hit[i] = 1.0 - std::exp(-rates[i] * t_c);
+    hit += rates[i] * out.per_item_hit[i];
+  }
+  out.hit_ratio = hit;
+  return out;
+}
+
+double simulate_lru_hit_ratio(const std::vector<double>& weights,
+                              std::size_t cache_items, std::size_t requests,
+                              std::uint64_t seed) {
+  if (weights.empty() || cache_items == 0 || requests == 0) return 0.0;
+  util::RngStream rng(seed, "lru-sim");
+
+  // Cumulative weights for O(log n) sampling.
+  std::vector<double> cumulative(weights.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    cumulative[i] = acc;
+  }
+
+  std::list<std::size_t> lru;  // MRU at front
+  std::unordered_map<std::size_t, std::list<std::size_t>::iterator> index;
+  std::size_t hits = 0;
+  for (std::size_t r = 0; r < requests; ++r) {
+    const double target = rng.uniform() * acc;
+    const auto it = std::lower_bound(cumulative.begin(), cumulative.end(),
+                                     target);
+    const std::size_t item = std::min<std::size_t>(
+        static_cast<std::size_t>(it - cumulative.begin()),
+        weights.size() - 1);
+
+    const auto cached = index.find(item);
+    if (cached != index.end()) {
+      ++hits;
+      lru.splice(lru.begin(), lru, cached->second);
+    } else {
+      lru.push_front(item);
+      index[item] = lru.begin();
+      if (lru.size() > cache_items) {
+        index.erase(lru.back());
+        lru.pop_back();
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(requests);
+}
+
+}  // namespace ipfsmon::analysis

@@ -1,0 +1,42 @@
+// LRU cache-hit-ratio model (Che's approximation, as refined by Fricker,
+// Robert & Roberts — the paper's ref. [28]). The paper motivates measuring
+// content popularity precisely because it is "an important building block
+// for the formal analysis of cache hit ratios (especially relevant for
+// IPFS gateways)". This module closes that loop: feed measured popularity
+// (e.g. RRP scores) into the model and predict gateway cache behaviour.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ipfsmon::analysis {
+
+struct CachePrediction {
+  /// Che's characteristic time T_C (in request-count units).
+  double characteristic_time = 0.0;
+  /// Predicted overall hit ratio under IRM + LRU.
+  double hit_ratio = 0.0;
+  /// Per-item hit probabilities, aligned with the input weights.
+  std::vector<double> per_item_hit;
+};
+
+/// Predicts the steady-state hit ratio of an LRU cache holding
+/// `cache_items` objects under the Independent Reference Model, where item
+/// i is requested with (unnormalized) rate `weights[i]`.
+///
+/// Che's approximation: the characteristic time T solves
+///     Σ_i (1 − e^{−λ_i T}) = C,
+/// and item i's hit probability is 1 − e^{−λ_i T}. The equation is solved
+/// by bisection (the left side is strictly increasing in T).
+CachePrediction che_hit_ratio(const std::vector<double>& weights,
+                              std::size_t cache_items);
+
+/// Simulates an LRU cache of `cache_items` entries under the same IRM
+/// workload for `requests` draws — the ground truth Che approximates.
+/// Deterministic given `seed`.
+double simulate_lru_hit_ratio(const std::vector<double>& weights,
+                              std::size_t cache_items, std::size_t requests,
+                              std::uint64_t seed);
+
+}  // namespace ipfsmon::analysis

@@ -1,0 +1,59 @@
+#include "analysis/ecdf.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ipfsmon::analysis {
+
+Ecdf::Ecdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::at(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  if (sorted_.empty()) throw std::logic_error("Ecdf::quantile: empty");
+  if (q <= 0.0) return sorted_.front();
+  if (q >= 1.0) return sorted_.back();
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_.size()));
+  return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+double Ecdf::min() const {
+  return sorted_.empty() ? 0.0 : sorted_.front();
+}
+
+double Ecdf::max() const {
+  return sorted_.empty() ? 0.0 : sorted_.back();
+}
+
+std::vector<std::pair<double, double>> Ecdf::points() const {
+  std::vector<std::pair<double, double>> out;
+  for (std::size_t i = 0; i < sorted_.size(); ++i) {
+    if (i + 1 < sorted_.size() && sorted_[i + 1] == sorted_[i]) continue;
+    out.emplace_back(sorted_[i], static_cast<double>(i + 1) /
+                                     static_cast<double>(sorted_.size()));
+  }
+  return out;
+}
+
+std::vector<std::pair<double, double>> Ecdf::points(
+    std::size_t max_points) const {
+  const auto all = points();
+  if (all.size() <= max_points || max_points == 0) return all;
+  std::vector<std::pair<double, double>> out;
+  out.reserve(max_points);
+  for (std::size_t i = 0; i < max_points; ++i) {
+    const std::size_t idx = i * (all.size() - 1) / (max_points - 1);
+    out.push_back(all[idx]);
+  }
+  return out;
+}
+
+}  // namespace ipfsmon::analysis

@@ -1,0 +1,34 @@
+// Empirical cumulative distribution functions (paper Fig. 5 plots ECDFs of
+// the two popularity scores).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ipfsmon::analysis {
+
+class Ecdf {
+ public:
+  explicit Ecdf(std::vector<double> samples);
+
+  /// F(x) = share of samples ≤ x.
+  double at(double x) const;
+
+  /// Smallest sample v with F(v) ≥ q (q in [0, 1]).
+  double quantile(double q) const;
+
+  std::size_t sample_count() const { return sorted_.size(); }
+  double min() const;
+  double max() const;
+
+  /// (x, F(x)) pairs at every distinct sample value — the plot series.
+  std::vector<std::pair<double, double>> points() const;
+
+  /// Downsampled series with at most `max_points` rows (for table output).
+  std::vector<std::pair<double, double>> points(std::size_t max_points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace ipfsmon::analysis

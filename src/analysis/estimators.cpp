@@ -1,0 +1,128 @@
+#include "analysis/estimators.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace ipfsmon::analysis {
+
+std::optional<double> estimate_pairwise(std::size_t set1, std::size_t set2,
+                                        std::size_t intersection) {
+  if (intersection == 0) return std::nullopt;
+  return static_cast<double>(set1) * static_cast<double>(set2) /
+         static_cast<double>(intersection);
+}
+
+std::optional<double> estimate_pairwise(
+    const std::vector<crypto::PeerId>& peers1,
+    const std::vector<crypto::PeerId>& peers2) {
+  const std::unordered_set<crypto::PeerId> s1(peers1.begin(), peers1.end());
+  std::size_t intersection = 0;
+  std::unordered_set<crypto::PeerId> s2;
+  for (const auto& p : peers2) {
+    if (!s2.insert(p).second) continue;
+    if (s1.count(p) != 0) ++intersection;
+  }
+  return estimate_pairwise(s1.size(), s2.size(), intersection);
+}
+
+std::optional<double> estimate_committee(std::size_t m, std::size_t r,
+                                         double w) {
+  if (m == 0 || r == 0 || w <= 0.0) return std::nullopt;
+  const double md = static_cast<double>(m);
+  const double rd = static_cast<double>(r);
+  // No overlap observed (m == r·w): the MLE diverges.
+  if (md >= rd * w - 1e-9) return std::nullopt;
+
+  const auto f = [md, rd, w](double n) {
+    return n - n * std::pow(1.0 - md / n, 1.0 / rd) - w;
+  };
+  // f(m+) = m − w > 0 (each monitor's draw is a subset of the union);
+  // f(∞) → m/r − w < 0. Bisect the sign change.
+  double lo = md * (1.0 + 1e-9);
+  if (f(lo) <= 0.0) return lo;
+  double hi = md * 2.0;
+  int expansions = 0;
+  while (f(hi) > 0.0) {
+    hi *= 2.0;
+    if (++expansions > 64) return std::nullopt;  // numerically no root
+  }
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (f(mid) > 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double EstimateSeries::mean() const {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double EstimateSeries::stddev() const {
+  if (values.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : values) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+SnapshotEstimates estimate_over_snapshots(
+    const std::vector<std::vector<std::vector<crypto::PeerId>>>& snapshots) {
+  SnapshotEstimates out;
+  if (snapshots.empty()) return out;
+  const std::size_t monitors = snapshots.front().size();
+  out.mean_set_sizes.assign(monitors, 0.0);
+  double union_acc = 0.0;
+  std::size_t counted = 0;
+
+  for (const auto& snapshot : snapshots) {
+    if (snapshot.size() != monitors || monitors == 0) continue;
+    ++counted;
+    std::unordered_set<crypto::PeerId> union_set;
+    double mean_w = 0.0;
+    for (std::size_t i = 0; i < monitors; ++i) {
+      union_set.insert(snapshot[i].begin(), snapshot[i].end());
+      out.mean_set_sizes[i] += static_cast<double>(snapshot[i].size());
+      mean_w += static_cast<double>(snapshot[i].size());
+    }
+    mean_w /= static_cast<double>(monitors);
+    union_acc += static_cast<double>(union_set.size());
+
+    if (monitors >= 2) {
+      if (const auto est = estimate_pairwise(snapshot[0], snapshot[1])) {
+        out.pairwise.values.push_back(*est);
+      }
+    }
+    if (const auto est =
+            estimate_committee(union_set.size(), monitors, mean_w)) {
+      out.committee.values.push_back(*est);
+    }
+  }
+  if (counted > 0) {
+    out.mean_union_size = union_acc / static_cast<double>(counted);
+    for (auto& v : out.mean_set_sizes) v /= static_cast<double>(counted);
+  }
+  return out;
+}
+
+double intersection_over_union(const std::vector<crypto::PeerId>& a,
+                               const std::vector<crypto::PeerId>& b) {
+  const std::unordered_set<crypto::PeerId> sa(a.begin(), a.end());
+  const std::unordered_set<crypto::PeerId> sb(b.begin(), b.end());
+  std::size_t intersection = 0;
+  for (const auto& p : sb) {
+    if (sa.count(p) != 0) ++intersection;
+  }
+  const std::size_t union_size = sa.size() + sb.size() - intersection;
+  return union_size == 0 ? 0.0
+                         : static_cast<double>(intersection) /
+                               static_cast<double>(union_size);
+}
+
+}  // namespace ipfsmon::analysis

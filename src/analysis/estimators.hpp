@@ -1,0 +1,61 @@
+// Network-size estimation from monitor peer sets (paper Sec. IV-C).
+//
+// Eq. (1): two monitors, hypergeometric capture-recapture MLE
+//     N̂ = |P_m1|·|P_m2| / |P_m1 ∩ P_m2|.
+//
+// Eq. (3): r monitors, committee-occupancy (coupon collector with group
+// drawings) MLE — solve  N − N·(1 − m/N)^{1/r} − w = 0  for N, where m is
+// the union size and w the (mean) per-monitor peer count.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "crypto/keys.hpp"
+
+namespace ipfsmon::analysis {
+
+/// Eq. (1). Returns nullopt when the intersection is empty (estimate
+/// undefined / infinite).
+std::optional<double> estimate_pairwise(std::size_t set1, std::size_t set2,
+                                        std::size_t intersection);
+
+/// Convenience over raw peer sets.
+std::optional<double> estimate_pairwise(
+    const std::vector<crypto::PeerId>& peers1,
+    const std::vector<crypto::PeerId>& peers2);
+
+/// Eq. (3): numerically solves for N given union size `m`, monitor count
+/// `r`, and per-monitor draw size `w`. Returns nullopt when no finite root
+/// exists (m ≥ r·w means zero observed overlap).
+std::optional<double> estimate_committee(std::size_t m, std::size_t r,
+                                         double w);
+
+/// Summary over a series of per-snapshot estimates.
+struct EstimateSeries {
+  std::vector<double> values;
+
+  double mean() const;
+  double stddev() const;  // sample standard deviation
+  bool empty() const { return values.empty(); }
+};
+
+/// Applies both estimators to matched per-monitor snapshots: element i of
+/// each inner vector is monitor i's peer set at snapshot t. Snapshots where
+/// an estimator is undefined are skipped.
+struct SnapshotEstimates {
+  EstimateSeries pairwise;   // eq. (1), first two monitors
+  EstimateSeries committee;  // eq. (3), all monitors
+  double mean_union_size = 0.0;
+  std::vector<double> mean_set_sizes;  // per monitor
+};
+
+SnapshotEstimates estimate_over_snapshots(
+    const std::vector<std::vector<std::vector<crypto::PeerId>>>& snapshots);
+
+/// Intersection-over-union of two peer sets (the paper reports >70% IoU of
+/// Bitswap-active peers between its two monitors).
+double intersection_over_union(const std::vector<crypto::PeerId>& a,
+                               const std::vector<crypto::PeerId>& b);
+
+}  // namespace ipfsmon::analysis

@@ -1,0 +1,54 @@
+#include "analysis/ks.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ipfsmon::analysis {
+
+double ks_statistic_uniform(std::vector<double> samples) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double cdf = samples[i];  // uniform CDF is the identity
+    const double upper = static_cast<double>(i + 1) / n - cdf;
+    const double lower = cdf - static_cast<double>(i) / n;
+    d = std::max({d, upper, lower});
+  }
+  return d;
+}
+
+double ks_statistic_two_sample(std::vector<double> a, std::vector<double> b) {
+  if (a.empty() || b.empty()) return 0.0;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  std::size_t i = 0, j = 0;
+  double d = 0.0;
+  while (i < a.size() && j < b.size()) {
+    const double x = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] <= x) ++i;
+    while (j < b.size() && b[j] <= x) ++j;
+    d = std::max(d, std::abs(static_cast<double>(i) / na -
+                             static_cast<double>(j) / nb));
+  }
+  return d;
+}
+
+double ks_p_value(double statistic, std::size_t n) {
+  if (n == 0 || statistic <= 0.0) return 1.0;
+  const double sqrt_n = std::sqrt(static_cast<double>(n));
+  const double lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * statistic;
+  // Kolmogorov tail series: 2 Σ (−1)^{k−1} e^{−2 k² λ²}.
+  double sum = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * lambda * lambda);
+    sum += (k % 2 == 1 ? term : -term);
+    if (term < 1e-12) break;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+}  // namespace ipfsmon::analysis

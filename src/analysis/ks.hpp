@@ -1,0 +1,19 @@
+// Kolmogorov-Smirnov statistics: goodness-of-fit against the uniform
+// distribution (Fig. 3's uniformity check) and two-sample comparison.
+#pragma once
+
+#include <vector>
+
+namespace ipfsmon::analysis {
+
+/// One-sample KS statistic of `samples` (values in [0, 1]) against U(0, 1).
+double ks_statistic_uniform(std::vector<double> samples);
+
+/// Two-sample KS statistic.
+double ks_statistic_two_sample(std::vector<double> a, std::vector<double> b);
+
+/// Asymptotic p-value for a one-sample KS statistic with n samples
+/// (Kolmogorov distribution tail sum).
+double ks_p_value(double statistic, std::size_t n);
+
+}  // namespace ipfsmon::analysis

@@ -1,0 +1,37 @@
+// Content-popularity scores (paper Sec. IV-D):
+//  * RRP (raw request popularity)  — total requests per CID,
+//  * URP (unique request popularity) — distinct requesting peers per CID.
+// Computed over the unified, deduplicated trace.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace ipfsmon::analysis {
+
+struct PopularityScores {
+  std::unordered_map<cid::Cid, std::uint64_t> rrp;
+  std::unordered_map<cid::Cid, std::uint64_t> urp;
+
+  /// Score vectors (for ECDF/power-law fitting).
+  std::vector<double> rrp_values() const;
+  std::vector<double> urp_values() const;
+
+  /// Top-k CIDs by the given score, descending.
+  std::vector<std::pair<cid::Cid, std::uint64_t>> top_rrp(std::size_t k) const;
+  std::vector<std::pair<cid::Cid, std::uint64_t>> top_urp(std::size_t k) const;
+
+  /// Share of CIDs requested by exactly one peer (paper: >80%).
+  double single_requester_share() const;
+};
+
+/// Computes both scores. Only request entries count (CANCELs excluded);
+/// flagged duplicates/re-broadcasts are skipped when `clean_only` is set
+/// (the paper's analyses filter both).
+PopularityScores compute_popularity(const trace::Trace& trace,
+                                    bool clean_only = true);
+
+}  // namespace ipfsmon::analysis

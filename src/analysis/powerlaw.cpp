@@ -1,0 +1,222 @@
+#include "analysis/powerlaw.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace ipfsmon::analysis {
+
+double hurwitz_zeta(double s, double a) {
+  // Direct sum for the first terms, Euler-Maclaurin correction for the
+  // tail: ζ(s,a) ≈ Σ_{k<N}(a+k)^−s + (a+N)^{1−s}/(s−1) + ½(a+N)^−s
+  //               + s(a+N)^{−s−1}/12.
+  constexpr int kDirectTerms = 64;
+  double sum = 0.0;
+  for (int k = 0; k < kDirectTerms; ++k) {
+    sum += std::pow(a + k, -s);
+  }
+  const double tail_start = a + kDirectTerms;
+  sum += std::pow(tail_start, 1.0 - s) / (s - 1.0);
+  sum += 0.5 * std::pow(tail_start, -s);
+  sum += s * std::pow(tail_start, -s - 1.0) / 12.0;
+  return sum;
+}
+
+double fit_alpha_discrete(const std::vector<double>& samples, double xmin) {
+  double log_sum = 0.0;
+  std::size_t n = 0;
+  for (double x : samples) {
+    if (x < xmin) continue;
+    log_sum += std::log(x);
+    ++n;
+  }
+  if (n == 0) return 0.0;
+
+  // Exact discrete MLE: maximize ℓ(α) = −n·ln ζ(α, xmin) − α·Σ ln xᵢ by
+  // ternary search (ℓ is strictly concave in α). The popular closed-form
+  // approximation α ≈ 1 + n/Σ ln(xᵢ/(xmin−½)) is badly biased for small
+  // xmin — and popularity scores start at 1.
+  const double nd = static_cast<double>(n);
+  const auto log_likelihood = [&](double alpha) {
+    return -nd * std::log(hurwitz_zeta(alpha, xmin)) - alpha * log_sum;
+  };
+  double lo = 1.0001;
+  double hi = 16.0;
+  for (int i = 0; i < 80; ++i) {
+    const double m1 = lo + (hi - lo) / 3.0;
+    const double m2 = hi - (hi - lo) / 3.0;
+    if (log_likelihood(m1) < log_likelihood(m2)) {
+      lo = m1;
+    } else {
+      hi = m2;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double ks_distance_powerlaw(const std::vector<double>& samples, double xmin,
+                            double alpha) {
+  std::vector<double> tail;
+  for (double x : samples) {
+    if (x >= xmin) tail.push_back(x);
+  }
+  if (tail.empty() || alpha <= 1.0) return 1.0;
+  std::sort(tail.begin(), tail.end());
+
+  const double z_xmin = hurwitz_zeta(alpha, xmin);
+  const double n = static_cast<double>(tail.size());
+  double d = 0.0;
+  std::size_t i = 0;
+  while (i < tail.size()) {
+    // Advance over equal values to evaluate at distinct points.
+    std::size_t j = i;
+    while (j < tail.size() && tail[j] == tail[i]) ++j;
+    const double x = tail[i];
+    // Model CDF: P(X ≤ x) = 1 − ζ(α, x+1)/ζ(α, xmin). Both CDFs are
+    // right-continuous step functions over the same atoms, so the KS
+    // distance is the max difference AT the atoms — comparing against the
+    // empirical left limit (as for continuous models) would inflate the
+    // distance by the first atom's probability mass.
+    const double model_cdf = 1.0 - hurwitz_zeta(alpha, x + 1.0) / z_xmin;
+    const double emp_cdf = static_cast<double>(j) / n;
+    d = std::max(d, std::abs(emp_cdf - model_cdf));
+    i = j;
+  }
+  return d;
+}
+
+PowerLawFit fit_power_law(const std::vector<double>& samples,
+                          std::size_t max_xmin_candidates) {
+  PowerLawFit best;
+  best.ks_distance = 2.0;  // sentinel worse than any real distance
+  if (samples.empty()) return best;
+
+  // Candidate xmin values: distinct sample values (capped, evenly spread).
+  std::set<double> distinct(samples.begin(), samples.end());
+  std::vector<double> candidates(distinct.begin(), distinct.end());
+  if (candidates.size() > max_xmin_candidates && max_xmin_candidates > 0) {
+    std::vector<double> reduced;
+    reduced.reserve(max_xmin_candidates);
+    for (std::size_t i = 0; i < max_xmin_candidates; ++i) {
+      const std::size_t idx =
+          i * (candidates.size() - 1) / (max_xmin_candidates - 1);
+      reduced.push_back(candidates[idx]);
+    }
+    candidates = std::move(reduced);
+  }
+
+  // Too-thin tails make the KS distance meaningless (any distribution fits
+  // a handful of points); require a minimally informative tail.
+  const std::size_t min_tail =
+      std::max<std::size_t>(25, samples.size() / 100);
+
+  std::vector<PowerLawFit> fits;
+  for (double xmin : candidates) {
+    if (xmin < 1.0) continue;
+    const double alpha = fit_alpha_discrete(samples, xmin);
+    if (alpha <= 1.0) continue;
+    std::size_t tail = 0;
+    for (double x : samples) {
+      if (x >= xmin) ++tail;
+    }
+    if (tail < min_tail) continue;
+    const double d = ks_distance_powerlaw(samples, xmin, alpha);
+    fits.push_back(PowerLawFit{alpha, xmin, d, tail});
+    if (d < best.ks_distance) {
+      best = PowerLawFit{alpha, xmin, d, tail};
+    }
+  }
+  // Tie-break toward the smallest xmin whose KS is within 10% of the
+  // optimum: a marginally better distance does not justify discarding most
+  // of the data (large xmin ⇒ small tails ⇒ spuriously small distances).
+  for (const auto& fit : fits) {
+    if (fit.ks_distance <= best.ks_distance * 1.10 && fit.xmin < best.xmin) {
+      best = fit;
+    }
+  }
+  if (best.ks_distance > 1.5 && !samples.empty()) {
+    // Nothing qualified (e.g. tiny input): fall back to xmin = min sample.
+    const double xmin = std::max(1.0, *std::min_element(samples.begin(),
+                                                        samples.end()));
+    const double alpha = std::max(1.0001, fit_alpha_discrete(samples, xmin));
+    std::size_t tail = 0;
+    for (double x : samples) {
+      if (x >= xmin) ++tail;
+    }
+    best = PowerLawFit{alpha, xmin, ks_distance_powerlaw(samples, xmin, alpha),
+                       tail};
+  }
+  return best;
+}
+
+double sample_discrete_power_law(util::RngStream& rng, double xmin,
+                                 double alpha) {
+  // Exact inverse-transform sampling on the discrete CDF
+  // P(X > k) = ζ(α, k+1) / ζ(α, xmin): doubling search for a bracket,
+  // then binary search for the smallest k with P(X ≤ k) ≥ u. (The
+  // continuous approximation from CSN appendix D is badly biased for
+  // small xmin, which matters here — popularity scores start at 1.)
+  double u;
+  do {
+    u = rng.uniform();
+  } while (u >= 1.0);
+  const double z = hurwitz_zeta(alpha, xmin);
+  const double target_tail = (1.0 - u) * z;  // find k: ζ(α, k+1) ≤ target
+
+  double lo = xmin;
+  double hi = xmin;
+  while (hurwitz_zeta(alpha, hi + 1.0) > target_tail) {
+    lo = hi + 1.0;
+    hi *= 2.0;
+    if (hi > 1e15) return hi;  // astronomically deep tail: cap
+  }
+  while (lo < hi) {
+    const double mid = std::floor((lo + hi) / 2.0);
+    if (hurwitz_zeta(alpha, mid + 1.0) > target_tail) {
+      lo = mid + 1.0;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+PowerLawTest test_power_law(const std::vector<double>& samples,
+                            util::RngStream& rng,
+                            std::size_t bootstrap_rounds,
+                            std::size_t max_xmin_candidates) {
+  PowerLawTest result;
+  result.fit = fit_power_law(samples, max_xmin_candidates);
+  result.bootstrap_rounds = bootstrap_rounds;
+  if (samples.empty() || result.fit.tail_size == 0) return result;
+
+  // Split the data into body (< xmin) and tail (≥ xmin).
+  std::vector<double> body;
+  for (double x : samples) {
+    if (x < result.fit.xmin) body.push_back(x);
+  }
+  const double tail_prob = static_cast<double>(result.fit.tail_size) /
+                           static_cast<double>(samples.size());
+
+  std::size_t exceed = 0;
+  for (std::size_t round = 0; round < bootstrap_rounds; ++round) {
+    std::vector<double> synthetic;
+    synthetic.reserve(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      if (body.empty() || rng.bernoulli(tail_prob)) {
+        synthetic.push_back(sample_discrete_power_law(rng, result.fit.xmin,
+                                                      result.fit.alpha));
+      } else {
+        synthetic.push_back(body[rng.uniform_index(body.size())]);
+      }
+    }
+    const PowerLawFit syn_fit =
+        fit_power_law(synthetic, max_xmin_candidates);
+    if (syn_fit.ks_distance >= result.fit.ks_distance) ++exceed;
+  }
+  result.p_value = static_cast<double>(exceed) /
+                   static_cast<double>(bootstrap_rounds);
+  return result;
+}
+
+}  // namespace ipfsmon::analysis

@@ -1,0 +1,64 @@
+// Discrete power-law fitting and hypothesis testing following Clauset,
+// Shalizi & Newman (SIAM Review 2009) — the method the paper applies to its
+// popularity scores and uses to REJECT the power-law hypothesis (p < 0.1
+// regardless of x_min; paper Sec. V-E).
+//
+//  * α is estimated by (approximate) discrete MLE for each candidate x_min;
+//  * x_min minimizes the KS distance between the empirical tail and the
+//    fitted model;
+//  * the p-value comes from a semiparametric bootstrap: synthetic datasets
+//    combine the empirical body (below x_min) with power-law tails, are
+//    re-fitted, and compared by KS distance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ipfsmon::analysis {
+
+struct PowerLawFit {
+  double alpha = 0.0;
+  double xmin = 1.0;
+  double ks_distance = 0.0;
+  std::size_t tail_size = 0;  // samples ≥ xmin
+};
+
+struct PowerLawTest {
+  PowerLawFit fit;
+  double p_value = 0.0;
+  std::size_t bootstrap_rounds = 0;
+  /// CSN convention: reject the power-law hypothesis when p < 0.1.
+  bool rejected() const { return p_value < 0.1; }
+};
+
+/// Hurwitz zeta ζ(s, a) via Euler-Maclaurin; needs s > 1, a > 0.
+double hurwitz_zeta(double s, double a);
+
+/// MLE of α for a discrete power law with known xmin (approximate discrete
+/// MLE, CSN eq. 3.7).
+double fit_alpha_discrete(const std::vector<double>& samples, double xmin);
+
+/// KS distance between the empirical tail (≥ xmin) and the fitted discrete
+/// power law.
+double ks_distance_powerlaw(const std::vector<double>& samples, double xmin,
+                            double alpha);
+
+/// Full fit: scans candidate xmin values (all distinct sample values, or a
+/// capped subset for large inputs), picks the KS-minimizing one.
+PowerLawFit fit_power_law(const std::vector<double>& samples,
+                          std::size_t max_xmin_candidates = 50);
+
+/// Goodness-of-fit test with `bootstrap_rounds` synthetic datasets.
+PowerLawTest test_power_law(const std::vector<double>& samples,
+                            util::RngStream& rng,
+                            std::size_t bootstrap_rounds = 100,
+                            std::size_t max_xmin_candidates = 50);
+
+/// Samples one value from a discrete power law (tail ≥ xmin) by inverse
+/// transform (CSN appendix D approximation).
+double sample_discrete_power_law(util::RngStream& rng, double xmin,
+                                 double alpha);
+
+}  // namespace ipfsmon::analysis

@@ -1,0 +1,36 @@
+#include "analysis/qq.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ipfsmon::analysis {
+
+std::vector<QqPoint> qq_against_uniform(
+    const std::vector<crypto::PeerId>& peers, std::size_t points) {
+  std::vector<QqPoint> out;
+  if (peers.empty() || points == 0) return out;
+  std::vector<double> values;
+  values.reserve(peers.size());
+  for (const auto& p : peers) values.push_back(p.as_unit_interval());
+  std::sort(values.begin(), values.end());
+
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double q = (static_cast<double>(i) + 0.5) /
+                     static_cast<double>(points);
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(values.size()));
+    out.push_back(QqPoint{q, values[std::min(idx, values.size() - 1)]});
+  }
+  return out;
+}
+
+double qq_max_deviation(const std::vector<QqPoint>& points) {
+  double d = 0.0;
+  for (const auto& p : points) {
+    d = std::max(d, std::abs(p.empirical - p.theoretical));
+  }
+  return d;
+}
+
+}  // namespace ipfsmon::analysis

@@ -1,0 +1,25 @@
+// Quantile-quantile comparison of peer-ID positions against the uniform
+// distribution (paper Fig. 3): if monitors' peers are an unbiased draw from
+// the ID space, the QQ curve hugs the diagonal.
+#pragma once
+
+#include <vector>
+
+#include "crypto/keys.hpp"
+
+namespace ipfsmon::analysis {
+
+struct QqPoint {
+  double theoretical = 0.0;  // uniform quantile
+  double empirical = 0.0;    // observed ID quantile (IDs mapped to [0,1))
+};
+
+/// QQ points for a peer set vs U(0,1), sampled at `points` quantiles.
+std::vector<QqPoint> qq_against_uniform(
+    const std::vector<crypto::PeerId>& peers, std::size_t points = 64);
+
+/// Max |empirical − theoretical| over the QQ curve — a quick straightness
+/// score (equals the KS statistic at the sampled quantiles).
+double qq_max_deviation(const std::vector<QqPoint>& points);
+
+}  // namespace ipfsmon::analysis

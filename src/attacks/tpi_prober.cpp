@@ -1,0 +1,93 @@
+#include "attacks/tpi_prober.hpp"
+
+namespace ipfsmon::attacks {
+
+std::string_view tpi_outcome_name(TpiOutcome outcome) {
+  switch (outcome) {
+    case TpiOutcome::Have:
+      return "HAVE";
+    case TpiOutcome::DontHave:
+      return "DONT_HAVE";
+    case TpiOutcome::Timeout:
+      return "TIMEOUT";
+    case TpiOutcome::Unreachable:
+      return "UNREACHABLE";
+  }
+  return "UNKNOWN";
+}
+
+TpiProber::TpiProber(net::Network& network, const crypto::PeerId& self,
+                     const net::Address& address, const std::string& country,
+                     util::SimDuration timeout)
+    : network_(network), self_(self), timeout_(timeout) {
+  network_.register_node(self_, address, country, /*nat=*/false, this);
+  network_.set_online(self_, true);
+}
+
+void TpiProber::probe(const crypto::PeerId& target, const cid::Cid& cid,
+                      ProbeCallback on_done) {
+  const Key key{target, cid};
+  if (pending_.count(key) != 0) {
+    if (on_done) on_done(TpiOutcome::Timeout);  // probe already running
+    return;
+  }
+  sim::EventHandle timeout = network_.scheduler().schedule_after(
+      timeout_, [this, key]() { finish(key, TpiOutcome::Timeout); });
+  pending_[key] = Pending{std::move(on_done), timeout};
+
+  auto send_probe = [this, key](net::ConnectionId conn) {
+    auto msg = std::make_shared<bitswap::BitswapMessage>();
+    bitswap::WantEntry entry;
+    entry.cid = key.cid;
+    entry.type = bitswap::WantType::WantHave;
+    entry.send_dont_have = true;
+    msg->entries.push_back(std::move(entry));
+    network_.send(conn, self_, std::move(msg));
+  };
+
+  const auto existing = network_.connection_between(self_, target);
+  if (existing) {
+    send_probe(*existing);
+    return;
+  }
+  network_.dial(self_, target,
+                [this, key, send_probe](std::optional<net::ConnectionId> conn) {
+                  if (!conn) {
+                    finish(key, TpiOutcome::Unreachable);
+                    return;
+                  }
+                  if (pending_.count(key) == 0) return;  // timed out already
+                  send_probe(*conn);
+                });
+}
+
+void TpiProber::finish(const Key& key, TpiOutcome outcome) {
+  const auto it = pending_.find(key);
+  if (it == pending_.end()) return;
+  Pending pending = std::move(it->second);
+  pending_.erase(it);
+  pending.timeout.cancel();
+  if (pending.callback) pending.callback(outcome);
+}
+
+bool TpiProber::accept_inbound(const crypto::PeerId& /*from*/) { return true; }
+
+void TpiProber::on_connection(net::ConnectionId, const crypto::PeerId&, bool) {}
+
+void TpiProber::on_disconnect(net::ConnectionId, const crypto::PeerId&) {}
+
+void TpiProber::on_message(net::ConnectionId /*conn*/,
+                           const crypto::PeerId& from,
+                           const net::PayloadPtr& payload) {
+  const auto* msg = dynamic_cast<const bitswap::BitswapMessage*>(payload.get());
+  if (msg == nullptr) return;
+  for (const auto& presence : msg->presences) {
+    finish(Key{from, presence.cid},
+           presence.have ? TpiOutcome::Have : TpiOutcome::DontHave);
+  }
+  for (const auto& block : msg->blocks) {
+    if (block != nullptr) finish(Key{from, block->id()}, TpiOutcome::Have);
+  }
+}
+
+}  // namespace ipfsmon::attacks

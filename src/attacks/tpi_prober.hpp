@@ -1,0 +1,72 @@
+// TPI — Testing for Past Interests (paper Sec. VI-A3): an active probe that
+// asks a target node whether a CID sits in its cache. Because IPFS nodes
+// cache downloaded data and serve it cooperatively, a HAVE answer implies
+// the target requested (or authored) the data in the recent past.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "bitswap/message.hpp"
+#include "net/network.hpp"
+#include "util/rng.hpp"
+
+namespace ipfsmon::attacks {
+
+enum class TpiOutcome {
+  Have,         // target has the block cached — past interest confirmed
+  DontHave,     // target answered negatively
+  Timeout,      // no answer (treat as not cached)
+  Unreachable,  // could not connect to target
+};
+
+std::string_view tpi_outcome_name(TpiOutcome outcome);
+
+/// A minimal adversary node that joins the overlay just to send WANT_HAVE
+/// probes. Register once, probe many targets.
+class TpiProber : public net::Host {
+ public:
+  using ProbeCallback = std::function<void(TpiOutcome)>;
+
+  TpiProber(net::Network& network, const crypto::PeerId& self,
+            const net::Address& address, const std::string& country,
+            util::SimDuration timeout = 10 * util::kSecond);
+
+  /// Probes `target` for `cid`. Multiple probes may run concurrently
+  /// (keyed by target+cid).
+  void probe(const crypto::PeerId& target, const cid::Cid& cid,
+             ProbeCallback on_done);
+
+  // net::Host
+  bool accept_inbound(const crypto::PeerId& from) override;
+  void on_connection(net::ConnectionId, const crypto::PeerId&, bool) override;
+  void on_disconnect(net::ConnectionId, const crypto::PeerId&) override;
+  void on_message(net::ConnectionId conn, const crypto::PeerId& from,
+                  const net::PayloadPtr& payload) override;
+
+ private:
+  struct Key {
+    crypto::PeerId target;
+    cid::Cid cid;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return std::hash<crypto::PeerId>{}(k.target) ^
+             (std::hash<cid::Cid>{}(k.cid) * 0x9e3779b97f4a7c15ull);
+    }
+  };
+  struct Pending {
+    ProbeCallback callback;
+    sim::EventHandle timeout;
+  };
+
+  void finish(const Key& key, TpiOutcome outcome);
+
+  net::Network& network_;
+  crypto::PeerId self_;
+  util::SimDuration timeout_;
+  std::unordered_map<Key, Pending, KeyHash> pending_;
+};
+
+}  // namespace ipfsmon::attacks

@@ -1,0 +1,88 @@
+#include "attacks/trace_attacks.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace ipfsmon::attacks {
+
+std::vector<IdwHit> identify_data_wanters(const trace::Trace& unified,
+                                          const cid::Cid& target) {
+  std::unordered_map<crypto::PeerId, IdwHit> hits;
+  for (const auto& e : unified.entries()) {
+    if (e.cid != target) continue;
+    if (e.type == bitswap::WantType::Cancel) {
+      const auto it = hits.find(e.peer);
+      if (it != hits.end()) it->second.cancelled = true;
+      continue;
+    }
+    if (!e.is_clean()) continue;
+    auto& hit = hits[e.peer];
+    hit.peer = e.peer;
+    hit.address = e.address;
+    hit.request_times.push_back(e.timestamp);
+  }
+  std::vector<IdwHit> out;
+  out.reserve(hits.size());
+  for (auto& [peer, hit] : hits) out.push_back(std::move(hit));
+  std::sort(out.begin(), out.end(), [](const IdwHit& a, const IdwHit& b) {
+    const util::SimTime ta =
+        a.request_times.empty() ? 0 : a.request_times.front();
+    const util::SimTime tb =
+        b.request_times.empty() ? 0 : b.request_times.front();
+    if (ta != tb) return ta < tb;
+    return a.peer < b.peer;
+  });
+  return out;
+}
+
+std::vector<TnwHit> track_node_wants(const trace::Trace& unified,
+                                     const crypto::PeerId& target) {
+  std::map<cid::Cid, TnwHit> hits;
+  for (const auto& e : unified.entries()) {
+    if (e.peer != target) continue;
+    if (e.type == bitswap::WantType::Cancel) {
+      const auto it = hits.find(e.cid);
+      if (it != hits.end()) it->second.cancelled = true;
+      continue;
+    }
+    auto [it, inserted] = hits.try_emplace(e.cid);
+    TnwHit& hit = it->second;
+    if (inserted) {
+      hit.cid = e.cid;
+      hit.first_type = e.type;
+      hit.first_seen = e.timestamp;
+    }
+    hit.last_seen = std::max(hit.last_seen, e.timestamp);
+    ++hit.observations;
+  }
+  std::vector<TnwHit> out;
+  out.reserve(hits.size());
+  for (auto& [cid, hit] : hits) out.push_back(std::move(hit));
+  std::sort(out.begin(), out.end(), [](const TnwHit& a, const TnwHit& b) {
+    if (a.first_seen != b.first_seen) return a.first_seen < b.first_seen;
+    return a.cid < b.cid;
+  });
+  return out;
+}
+
+std::vector<std::pair<crypto::PeerId, std::vector<net::Address>>>
+peers_with_multiple_addresses(const trace::Trace& unified) {
+  std::unordered_map<crypto::PeerId, std::set<net::Address>> seen;
+  for (const auto& e : unified.entries()) {
+    seen[e.peer].insert(e.address);
+  }
+  std::vector<std::pair<crypto::PeerId, std::vector<net::Address>>> out;
+  for (auto& [peer, addrs] : seen) {
+    if (addrs.size() > 1) {
+      out.emplace_back(peer,
+                       std::vector<net::Address>(addrs.begin(), addrs.end()));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+}  // namespace ipfsmon::attacks

@@ -1,0 +1,47 @@
+// Passive privacy attacks on collected traces (paper Sec. VI-A):
+//  * IDW — Identifying Data Wanters: who asked for a given CID?
+//  * TNW — Tracking Node Wants: what did a given node ask for?
+// Both are pure queries over the monitoring dataset; the monitoring setup
+// *is* the attack infrastructure.
+#pragma once
+
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace ipfsmon::attacks {
+
+/// One node observed requesting the target CID.
+struct IdwHit {
+  crypto::PeerId peer;
+  net::Address address;
+  std::vector<util::SimTime> request_times;
+  bool cancelled = false;  // a CANCEL followed — likely completed download
+};
+
+/// IDW: every peer that requested `target`, with request times. Uses clean
+/// (deduplicated) request entries for times; CANCELs flag completion.
+std::vector<IdwHit> identify_data_wanters(const trace::Trace& unified,
+                                          const cid::Cid& target);
+
+/// One CID a tracked node was observed wanting.
+struct TnwHit {
+  cid::Cid cid;
+  bitswap::WantType first_type = bitswap::WantType::WantHave;
+  util::SimTime first_seen = 0;
+  util::SimTime last_seen = 0;
+  std::size_t observations = 0;
+  bool cancelled = false;
+};
+
+/// TNW: the full observed interest history of `target`, one row per CID,
+/// ordered by first observation.
+std::vector<TnwHit> track_node_wants(const trace::Trace& unified,
+                                     const crypto::PeerId& target);
+
+/// Node IDs observed using more than one IP address (the cross-referencing
+/// step of the gateway investigation, Sec. VI-B2).
+std::vector<std::pair<crypto::PeerId, std::vector<net::Address>>>
+peers_with_multiple_addresses(const trace::Trace& unified);
+
+}  // namespace ipfsmon::attacks

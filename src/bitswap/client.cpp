@@ -1,0 +1,316 @@
+#include "bitswap/client.hpp"
+
+#include <algorithm>
+
+namespace ipfsmon::bitswap {
+
+BitswapClient::BitswapClient(net::Network& network, const crypto::PeerId& self,
+                             ClientConfig config, ProviderSearchFn search,
+                             util::RngStream rng)
+    : network_(network),
+      self_(self),
+      config_(config),
+      search_(std::move(search)),
+      rng_(std::move(rng)) {}
+
+SessionId BitswapClient::create_session() {
+  const SessionId id = next_session_++;
+  sessions_[id];  // materialize empty peer set
+  return id;
+}
+
+std::vector<crypto::PeerId> BitswapClient::session_peers(
+    SessionId session) const {
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+void BitswapClient::fetch(const cid::Cid& cid, SessionId session,
+                          FetchCallback on_done) {
+  if (shut_down_) {
+    if (on_done) on_done(nullptr);
+    return;
+  }
+  if (const auto it = active_.find(cid); it != active_.end()) {
+    // Coalesce concurrent fetches of the same CID.
+    if (on_done) it->second->callbacks.push_back(std::move(on_done));
+    return;
+  }
+  ++stats_.fetches_started;
+
+  auto state = std::make_shared<WantState>();
+  state->cid = cid;
+  state->session = session;
+  if (on_done) state->callbacks.push_back(std::move(on_done));
+  // A populated session scopes the request; an empty/no session broadcasts
+  // (the root request of a DAG download is always a broadcast).
+  const auto sit = sessions_.find(session);
+  const bool session_has_peers = sit != sessions_.end() && !sit->second.empty();
+  state->broadcast = !session_has_peers;
+  active_[cid] = state;
+
+  broadcast_want(state);
+  arm_deadline(state);
+  arm_rebroadcast(state);
+
+  // Step 2 of the retrieval strategy: DHT search if broadcasting stalls.
+  state->provider_delay_timer = network_.scheduler().schedule_after(
+      config_.provider_search_delay, [this, state]() {
+        if (state->done) return;
+        if (!state->block_in_flight && state->candidates.empty()) {
+          start_provider_search(state);
+        }
+      });
+}
+
+std::vector<crypto::PeerId> BitswapClient::want_targets(
+    const WantStatePtr& state) const {
+  if (state->broadcast) {
+    if (!config_.broadcast_wants) return {};  // DHT-only countermeasure
+    return network_.connected_peers(self_);
+  }
+  const auto it = sessions_.find(state->session);
+  if (it == sessions_.end()) return {};
+  std::vector<crypto::PeerId> peers;
+  peers.reserve(it->second.size());
+  for (const auto& p : it->second) {
+    if (network_.connection_between(self_, p)) peers.push_back(p);
+  }
+  return peers;
+}
+
+WantEntry BitswapClient::build_entry(const cid::Cid& cid, WantType type,
+                                     bool send_dont_have, bool allow_salted) {
+  if (config_.salted_wants && allow_salted) {
+    util::Bytes salt(config_.salt_bytes);
+    rng_.fill_bytes(salt.data(), salt.size());
+    return make_salted_entry(cid, std::move(salt), type, send_dont_have);
+  }
+  WantEntry entry;
+  entry.cid = cid;
+  entry.type = type;
+  entry.send_dont_have = send_dont_have;
+  return entry;
+}
+
+void BitswapClient::send_want(const WantStatePtr& state,
+                              const crypto::PeerId& peer,
+                              net::ConnectionId conn, WantType type,
+                              bool send_dont_have, bool allow_salted) {
+  auto msg = std::make_shared<BitswapMessage>();
+  msg->entries.push_back(
+      build_entry(state->cid, type, send_dont_have, allow_salted));
+  network_.send(conn, self_, std::move(msg));
+  state->told.insert(peer);
+  ++stats_.want_messages_sent;
+}
+
+void BitswapClient::broadcast_want(const WantStatePtr& state) {
+  const WantType type =
+      config_.use_want_have ? WantType::WantHave : WantType::WantBlock;
+  for (const auto& peer : want_targets(state)) {
+    const auto conn = network_.connection_between(self_, peer);
+    if (!conn) continue;
+    // Broadcast probes do not request explicit DONT_HAVEs (timeouts
+    // determine absence); session-scoped wants do.
+    send_want(state, peer, *conn, type, /*send_dont_have=*/!state->broadcast);
+  }
+}
+
+void BitswapClient::handle_response(const crypto::PeerId& from,
+                                    const BitswapMessage& message) {
+  for (const auto& block : message.blocks) {
+    if (block == nullptr) continue;
+    const auto it = active_.find(block->id());
+    if (it == active_.end()) continue;
+    if (!block->verify()) continue;  // self-certification check
+    WantStatePtr state = it->second;
+    if (state->session != kNoSession) sessions_[state->session].insert(from);
+    complete(state, block);
+  }
+  for (const auto& presence : message.presences) {
+    const auto it = active_.find(presence.cid);
+    if (it == active_.end()) continue;
+    WantStatePtr state = it->second;
+    if (presence.have) {
+      if (state->session != kNoSession) sessions_[state->session].insert(from);
+      if (state->candidate_set.insert(from).second &&
+          state->tried.count(from) == 0) {
+        state->candidates.push_back(from);
+      }
+      try_next_candidate(state);
+    } else if (state->block_in_flight == from) {
+      // Our directed WANT_BLOCK was answered DONT_HAVE: move on.
+      state->block_in_flight.reset();
+      state->block_timeout_timer.cancel();
+      try_next_candidate(state);
+    }
+  }
+}
+
+void BitswapClient::try_next_candidate(const WantStatePtr& state) {
+  if (state->done || state->block_in_flight) return;
+  while (!state->candidates.empty()) {
+    const crypto::PeerId peer = state->candidates.front();
+    state->candidates.erase(state->candidates.begin());
+    state->candidate_set.erase(peer);
+    if (!state->tried.insert(peer).second) continue;
+    const auto conn = network_.connection_between(self_, peer);
+    if (!conn) continue;  // candidate disconnected meanwhile
+    state->block_in_flight = peer;
+    // The candidate proved knowledge (HAVE) or is a DHT-listed provider —
+    // a plaintext directed request leaks nothing new to it.
+    send_want(state, peer, *conn, WantType::WantBlock, /*send_dont_have=*/true,
+              /*allow_salted=*/false);
+    state->block_timeout_timer = network_.scheduler().schedule_after(
+        config_.block_request_timeout, [this, state]() {
+          if (state->done) return;
+          state->block_in_flight.reset();
+          try_next_candidate(state);
+        });
+    return;
+  }
+}
+
+void BitswapClient::start_provider_search(const WantStatePtr& state) {
+  if (!search_ || state->provider_search_running || state->done) return;
+  state->provider_search_running = true;
+  ++stats_.provider_searches;
+  search_(state->cid, [this, state](std::vector<dht::PeerRecord> providers) {
+    state->provider_search_running = false;
+    if (state->done || shut_down_) return;
+    std::size_t contacted = 0;
+    for (const auto& provider : providers) {
+      if (contacted >= config_.max_providers_contacted) break;
+      if (provider.id == self_) continue;
+      if (state->tried.count(provider.id) != 0 ||
+          state->candidate_set.count(provider.id) != 0) {
+        continue;
+      }
+      ++contacted;
+      if (state->session != kNoSession) {
+        sessions_[state->session].insert(provider.id);
+      }
+      // Connect (if needed) and queue the provider as a candidate; a
+      // directed WANT_BLOCK follows via try_next_candidate.
+      network_.dial(self_, provider.id,
+                    [this, state, id = provider.id](
+                        std::optional<net::ConnectionId> conn) {
+                      if (!conn || state->done) return;
+                      if (state->tried.count(id) != 0) return;
+                      if (state->candidate_set.insert(id).second) {
+                        state->candidates.push_back(id);
+                      }
+                      try_next_candidate(state);
+                    });
+    }
+  });
+}
+
+void BitswapClient::on_rebroadcast(const WantStatePtr& state) {
+  if (state->done) return;
+  ++stats_.rebroadcast_rounds;
+  broadcast_want(state);
+  // Fig. 1's idle loop also re-searches the DHT while stalled.
+  if (!state->block_in_flight && state->candidates.empty()) {
+    start_provider_search(state);
+  }
+  arm_rebroadcast(state);
+}
+
+void BitswapClient::arm_rebroadcast(const WantStatePtr& state) {
+  if (!config_.rebroadcast) return;
+  state->rebroadcast_timer = network_.scheduler().schedule_after(
+      config_.rebroadcast_interval, [this, state]() { on_rebroadcast(state); });
+}
+
+void BitswapClient::arm_deadline(const WantStatePtr& state) {
+  state->deadline_timer = network_.scheduler().schedule_after(
+      config_.fetch_timeout, [this, state]() {
+        if (!state->done) fail(state);
+      });
+}
+
+void BitswapClient::send_cancels(const WantStatePtr& state) {
+  for (const auto& peer : state->told) {
+    const auto conn = network_.connection_between(self_, peer);
+    if (!conn) continue;
+    auto msg = std::make_shared<BitswapMessage>();
+    msg->entries.push_back(
+        build_entry(state->cid, WantType::Cancel, false, /*allow_salted=*/true));
+    network_.send(*conn, self_, std::move(msg));
+    ++stats_.cancels_sent;
+  }
+  state->told.clear();
+}
+
+void BitswapClient::complete(const WantStatePtr& state,
+                             const dag::BlockPtr& block) {
+  if (state->done) return;
+  state->done = true;
+  state->rebroadcast_timer.cancel();
+  state->provider_delay_timer.cancel();
+  state->block_timeout_timer.cancel();
+  state->deadline_timer.cancel();
+  send_cancels(state);
+  active_.erase(state->cid);
+  ++stats_.fetches_completed;
+  for (auto& cb : state->callbacks) {
+    if (cb) cb(block);
+  }
+}
+
+void BitswapClient::fail(const WantStatePtr& state) {
+  if (state->done) return;
+  state->done = true;
+  state->rebroadcast_timer.cancel();
+  state->provider_delay_timer.cancel();
+  state->block_timeout_timer.cancel();
+  state->deadline_timer.cancel();
+  send_cancels(state);
+  active_.erase(state->cid);
+  ++stats_.fetches_failed;
+  for (auto& cb : state->callbacks) {
+    if (cb) cb(nullptr);
+  }
+}
+
+void BitswapClient::cancel(const cid::Cid& cid) {
+  const auto it = active_.find(cid);
+  if (it == active_.end()) return;
+  fail(it->second);
+}
+
+void BitswapClient::on_peer_connected(net::ConnectionId conn,
+                                      const crypto::PeerId& peer) {
+  if (shut_down_ || active_.empty()) return;
+  // Bitswap pushes the full current wantlist to newly connected peers.
+  auto msg = std::make_shared<BitswapMessage>();
+  msg->full_wantlist = true;
+  const WantType type =
+      config_.use_want_have ? WantType::WantHave : WantType::WantBlock;
+  std::vector<WantStatePtr> told;
+  for (const auto& [cid, state] : active_) {
+    if (!state->broadcast) continue;  // session-scoped wants stay scoped
+    if (!config_.broadcast_wants) continue;
+    msg->entries.push_back(build_entry(cid, type, false, /*allow_salted=*/true));
+    told.push_back(state);
+  }
+  if (msg->entries.empty()) return;
+  network_.send(conn, self_, std::move(msg));
+  for (const auto& state : told) state->told.insert(peer);
+  ++stats_.want_messages_sent;
+}
+
+void BitswapClient::shutdown() {
+  shut_down_ = true;
+  // fail() mutates active_; iterate over a snapshot.
+  std::vector<WantStatePtr> states;
+  states.reserve(active_.size());
+  for (const auto& [cid, state] : active_) states.push_back(state);
+  for (const auto& state : states) fail(state);
+  sessions_.clear();
+}
+
+}  // namespace ipfsmon::bitswap

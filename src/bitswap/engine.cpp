@@ -1,0 +1,139 @@
+#include "bitswap/engine.hpp"
+
+namespace ipfsmon::bitswap {
+
+BitswapEngine::BitswapEngine(net::Network& network, const crypto::PeerId& self,
+                             BlockLookup lookup, CidEnumerator enumerator)
+    : network_(network),
+      self_(self),
+      lookup_(std::move(lookup)),
+      enumerator_(std::move(enumerator)) {}
+
+std::optional<cid::Cid> BitswapEngine::resolve_salted(const WantEntry& entry) {
+  if (!enumerator_) return std::nullopt;
+  // The provider-side cost the paper warns about: one hash per stored CID
+  // per salted request — an amplification surface for denial of service.
+  for (const cid::Cid& candidate : enumerator_()) {
+    ++salted_hashes_computed_;
+    if (salted_cid_hash(candidate, entry.salt) == entry.salted_hash) {
+      return candidate;
+    }
+  }
+  return std::nullopt;
+}
+
+void BitswapEngine::reply(net::ConnectionId conn,
+                          std::shared_ptr<BitswapMessage> msg) {
+  if (msg->entries.empty() && msg->presences.empty() && msg->blocks.empty()) {
+    return;
+  }
+  network_.send(conn, self_, std::move(msg));
+}
+
+void BitswapEngine::handle_message(net::ConnectionId conn,
+                                   const crypto::PeerId& from,
+                                   const BitswapMessage& message) {
+  if (listener_) listener_(from, conn, message);
+
+  auto& ledger = ledgers_[from];
+  if (message.full_wantlist) {
+    for (const auto& [cid, entry] : ledger) wanters_[cid].erase(from);
+    ledger.clear();
+  }
+
+  auto response = std::make_shared<BitswapMessage>();
+  for (const auto& raw_entry : message.entries) {
+    WantEntry entry = raw_entry;
+    if (entry.salted) {
+      // Salted requests can only be understood by actual providers. Wants
+      // we cannot resolve are dropped entirely — they cannot be recorded
+      // in the ledger (no known CID), so want persistence and late serving
+      // silently stop working for them: part of the countermeasure's cost.
+      const auto resolved = resolve_salted(entry);
+      if (!resolved) continue;
+      entry.cid = *resolved;
+    }
+    if (entry.type == WantType::Cancel) {
+      ledger.erase(entry.cid);
+      auto it = wanters_.find(entry.cid);
+      if (it != wanters_.end()) {
+        it->second.erase(from);
+        if (it->second.empty()) wanters_.erase(it);
+      }
+      continue;
+    }
+    ledger[entry.cid] = LedgerEntry{entry.type, entry.send_dont_have};
+    wanters_[entry.cid].insert(from);
+
+    const dag::BlockPtr block = lookup_ ? lookup_(entry.cid) : nullptr;
+    if (block != nullptr && serve_blocks_) {
+      if (entry.type == WantType::WantBlock) {
+        response->blocks.push_back(block);
+        ++blocks_served_;
+      } else {
+        response->presences.push_back(BlockPresence{entry.cid, true});
+        ++presences_sent_;
+      }
+    } else if (entry.send_dont_have) {
+      // Negative responses are optional in the protocol; we honor the flag.
+      response->presences.push_back(BlockPresence{entry.cid, false});
+      ++presences_sent_;
+    }
+  }
+  reply(conn, std::move(response));
+}
+
+void BitswapEngine::on_peer_disconnected(const crypto::PeerId& peer) {
+  const auto it = ledgers_.find(peer);
+  if (it == ledgers_.end()) return;
+  for (const auto& [cid, entry] : it->second) {
+    auto jt = wanters_.find(cid);
+    if (jt != wanters_.end()) {
+      jt->second.erase(peer);
+      if (jt->second.empty()) wanters_.erase(jt);
+    }
+  }
+  ledgers_.erase(it);
+}
+
+void BitswapEngine::notify_new_block(const dag::BlockPtr& block) {
+  if (!serve_blocks_ || block == nullptr) return;
+  const auto it = wanters_.find(block->id());
+  if (it == wanters_.end()) return;
+  // Copy: sends may trigger reentrant engine activity.
+  const std::vector<crypto::PeerId> peers(it->second.begin(), it->second.end());
+  for (const auto& peer : peers) {
+    const auto conn = network_.connection_between(self_, peer);
+    if (!conn) continue;
+    const auto lit = ledgers_.find(peer);
+    if (lit == ledgers_.end()) continue;
+    const auto eit = lit->second.find(block->id());
+    if (eit == lit->second.end()) continue;
+    auto msg = std::make_shared<BitswapMessage>();
+    if (eit->second.type == WantType::WantBlock) {
+      msg->blocks.push_back(block);
+      ++blocks_served_;
+    } else {
+      msg->presences.push_back(BlockPresence{block->id(), true});
+      ++presences_sent_;
+    }
+    reply(*conn, std::move(msg));
+  }
+}
+
+std::vector<WantEntry> BitswapEngine::wantlist_of(
+    const crypto::PeerId& peer) const {
+  std::vector<WantEntry> out;
+  const auto it = ledgers_.find(peer);
+  if (it == ledgers_.end()) return out;
+  for (const auto& [cid, entry] : it->second) {
+    WantEntry want;
+    want.cid = cid;
+    want.type = entry.type;
+    want.send_dont_have = entry.send_dont_have;
+    out.push_back(std::move(want));
+  }
+  return out;
+}
+
+}  // namespace ipfsmon::bitswap

@@ -1,0 +1,93 @@
+// The Bitswap responder ("decision engine"): tracks remote peers'
+// wantlists in per-peer ledgers, answers WANT_HAVE with HAVE/DONT_HAVE and
+// WANT_BLOCK with BLOCK, and pushes data to waiting peers when new blocks
+// arrive locally. Ledgers persist for as long as the peer stays connected
+// (paper Sec. III-D1).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bitswap/message.hpp"
+#include "crypto/keys.hpp"
+#include "net/network.hpp"
+
+namespace ipfsmon::bitswap {
+
+class BitswapEngine {
+ public:
+  /// Lets the engine look blocks up in the owner's blockstore.
+  using BlockLookup = std::function<dag::BlockPtr(const cid::Cid&)>;
+  /// Enumerates all stored CIDs — needed to resolve salted-CID requests
+  /// (each one costs one hash per stored CID).
+  using CidEnumerator = std::function<std::vector<cid::Cid>()>;
+  /// Observation hook: fires for every inbound Bitswap message, before any
+  /// processing. This is the attachment point for passive monitors.
+  using MessageListener =
+      std::function<void(const crypto::PeerId& from, net::ConnectionId conn,
+                         const BitswapMessage& message)>;
+
+  BitswapEngine(net::Network& network, const crypto::PeerId& self,
+                BlockLookup lookup, CidEnumerator enumerator = nullptr);
+
+  void set_listener(MessageListener listener) { listener_ = std::move(listener); }
+
+  /// Countermeasure knob (paper Sec. VI-C item 5): when false, the node
+  /// refuses to serve cached blocks to others — defeating TPI at the cost
+  /// of cooperative caching.
+  void set_serve_blocks(bool serve) { serve_blocks_ = serve; }
+
+  /// Processes an inbound message's request side (entries). Presences and
+  /// blocks are for the client; the owning node routes them there.
+  void handle_message(net::ConnectionId conn, const crypto::PeerId& from,
+                      const BitswapMessage& message);
+
+  /// Drops the peer's ledger (connection closed).
+  void on_peer_disconnected(const crypto::PeerId& peer);
+
+  /// A new block arrived locally; serve it to every peer whose ledger
+  /// wants it.
+  void notify_new_block(const dag::BlockPtr& block);
+
+  /// The peer's current wantlist (for tests and the TPI probe analysis).
+  std::vector<WantEntry> wantlist_of(const crypto::PeerId& peer) const;
+
+  std::uint64_t blocks_served() const { return blocks_served_; }
+  std::uint64_t presences_sent() const { return presences_sent_; }
+  /// Hashes computed while resolving salted requests (the providers' CPU
+  /// cost of the countermeasure — its DoS-amplification surface).
+  std::uint64_t salted_hashes_computed() const {
+    return salted_hashes_computed_;
+  }
+
+ private:
+  struct LedgerEntry {
+    WantType type;
+    bool send_dont_have;
+  };
+
+  void reply(net::ConnectionId conn, std::shared_ptr<BitswapMessage> msg);
+  /// Resolves a salted entry against the local store; nullopt if no stored
+  /// CID matches under the entry's salt.
+  std::optional<cid::Cid> resolve_salted(const WantEntry& entry);
+
+  net::Network& network_;
+  crypto::PeerId self_;
+  BlockLookup lookup_;
+  CidEnumerator enumerator_;
+  MessageListener listener_;
+  bool serve_blocks_ = true;
+  std::uint64_t salted_hashes_computed_ = 0;
+
+  // peer -> (cid -> entry); ordered inner map keeps test output stable.
+  std::unordered_map<crypto::PeerId, std::map<cid::Cid, LedgerEntry>> ledgers_;
+  // cid -> peers wanting it (inverse index for notify_new_block).
+  std::unordered_map<cid::Cid, std::unordered_set<crypto::PeerId>> wanters_;
+
+  std::uint64_t blocks_served_ = 0;
+  std::uint64_t presences_sent_ = 0;
+};
+
+}  // namespace ipfsmon::bitswap

@@ -1,0 +1,42 @@
+#include "bitswap/message.hpp"
+
+namespace ipfsmon::bitswap {
+
+crypto::Sha256Digest salted_cid_hash(const cid::Cid& target,
+                                     util::BytesView salt) {
+  crypto::Sha256 ctx;
+  ctx.update(salt);
+  const util::Bytes encoded = target.encode();
+  ctx.update(encoded);
+  return ctx.finalize();
+}
+
+WantEntry make_salted_entry(const cid::Cid& target, util::Bytes salt,
+                            WantType type, bool send_dont_have) {
+  WantEntry entry;
+  entry.type = type;
+  entry.send_dont_have = send_dont_have;
+  entry.salted = true;
+  entry.salted_hash = salted_cid_hash(target, salt);
+  entry.salt = std::move(salt);
+  return entry;
+}
+
+cid::Cid opaque_cid_for(const WantEntry& salted_entry) {
+  return cid::Cid(1, cid::Multicodec::Raw,
+                  cid::Multihash::wrap_sha256(salted_entry.salted_hash));
+}
+
+std::string_view want_type_name(WantType type) {
+  switch (type) {
+    case WantType::WantHave:
+      return "WANT_HAVE";
+    case WantType::WantBlock:
+      return "WANT_BLOCK";
+    case WantType::Cancel:
+      return "CANCEL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace ipfsmon::bitswap

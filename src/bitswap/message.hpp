@@ -1,0 +1,72 @@
+// Bitswap wire messages (paper Sec. III-D). A message carries wantlist
+// updates (WANT_HAVE / WANT_BLOCK / CANCEL entries), block presences
+// (HAVE / DONT_HAVE), and/or blocks.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "cid/cid.hpp"
+#include "crypto/sha256.hpp"
+#include "dag/block.hpp"
+#include "net/network.hpp"
+
+namespace ipfsmon::bitswap {
+
+enum class WantType : std::uint8_t {
+  WantHave,   // "do you have this block?" (introduced in IPFS v0.5)
+  WantBlock,  // "send me this block if you have it" (all versions)
+  Cancel,     // retract an outstanding want
+};
+
+std::string_view want_type_name(WantType type);
+
+struct WantEntry {
+  cid::Cid cid;
+  WantType type = WantType::WantHave;
+  /// Ask the peer to answer DONT_HAVE explicitly (otherwise absence is
+  /// detected by timeout).
+  bool send_dont_have = false;
+  std::int32_t priority = 1;
+
+  /// Salted-CID privacy extension (paper Sec. VI-C item 4): instead of the
+  /// plaintext CID, the entry carries H(salt ‖ CID) plus the salt. Only
+  /// peers that actually store the block can identify it (by hashing each
+  /// stored CID under the salt); eavesdropping monitors learn nothing. The
+  /// `cid` field is meaningless when `salted` is set.
+  bool salted = false;
+  util::Bytes salt;
+  crypto::Sha256Digest salted_hash{};
+};
+
+/// Builds a salted want entry for `target` under a fresh salt.
+WantEntry make_salted_entry(const cid::Cid& target, util::Bytes salt,
+                            WantType type, bool send_dont_have);
+
+/// The salted digest H(salt ‖ cid-bytes).
+crypto::Sha256Digest salted_cid_hash(const cid::Cid& target,
+                                     util::BytesView salt);
+
+/// The opaque stand-in CID a monitor records for a salted request: a
+/// raw-codec CID wrapping the salted hash. Fresh salts make every request
+/// look like a unique, unlinkable CID.
+cid::Cid opaque_cid_for(const WantEntry& salted_entry);
+
+struct BlockPresence {
+  cid::Cid cid;
+  bool have = false;  // true = HAVE, false = DONT_HAVE
+};
+
+struct BitswapMessage : net::Payload {
+  std::vector<WantEntry> entries;
+  std::vector<BlockPresence> presences;
+  std::vector<dag::BlockPtr> blocks;
+  /// True when the entries replace the receiver's ledger for this sender
+  /// (sent on new connections).
+  bool full_wantlist = false;
+};
+
+using BitswapMessagePtr = std::shared_ptr<const BitswapMessage>;
+
+}  // namespace ipfsmon::bitswap

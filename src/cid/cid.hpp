@@ -1,0 +1,76 @@
+// Content identifiers (CIDs). A CID binds a multicodec (what the bytes are)
+// to a multihash (which bytes). CIDv0 is the legacy base58 "Qm..." form and
+// implies DagProtobuf + sha2-256; CIDv1 is self-describing and renders as
+// multibase 'b' + base32.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "cid/multicodec.hpp"
+#include "cid/multihash.hpp"
+#include "util/bytes.hpp"
+
+namespace ipfsmon::cid {
+
+class Cid {
+ public:
+  Cid() = default;
+  Cid(std::uint32_t version, Multicodec codec, Multihash hash);
+
+  /// Builds the CIDv1 for a data block under the given codec.
+  static Cid of_data(Multicodec codec, util::BytesView data);
+
+  /// Builds the legacy CIDv0 (DagProtobuf, sha2-256) of a block.
+  static Cid v0_of_data(util::BytesView data);
+
+  /// Parses either a CIDv0 ("Qm...") or multibase-'b' CIDv1 string.
+  static std::optional<Cid> from_string(std::string_view text);
+
+  /// Decodes the binary form (CIDv0 = bare multihash, CIDv1 = varint
+  /// version + varint codec + multihash).
+  static std::optional<Cid> decode(util::BytesView data);
+
+  std::uint32_t version() const { return version_; }
+  Multicodec codec() const { return codec_; }
+  const Multihash& hash() const { return hash_; }
+
+  /// Binary encoding (see decode()).
+  util::Bytes encode() const;
+
+  /// Canonical string form (v0: base58, v1: 'b' + base32).
+  std::string to_string() const;
+
+  /// Short digest prefix for logs and table rows.
+  std::string short_hex() const;
+
+  bool operator==(const Cid& other) const = default;
+
+  /// Strict weak order (codec, then digest) so CIDs can key ordered maps.
+  bool operator<(const Cid& other) const;
+
+ private:
+  std::uint32_t version_ = 1;
+  Multicodec codec_ = Multicodec::Raw;
+  Multihash hash_;
+};
+
+}  // namespace ipfsmon::cid
+
+namespace std {
+template <>
+struct hash<ipfsmon::cid::Cid> {
+  size_t operator()(const ipfsmon::cid::Cid& c) const noexcept {
+    const auto& digest = c.hash().digest();
+    size_t h = static_cast<size_t>(c.codec()) * 0x9e3779b97f4a7c15ull;
+    const size_t n = digest.size() < 8 ? digest.size() : 8;
+    for (size_t i = 0; i < n; ++i) {
+      h = (h << 8) ^ digest[i];
+    }
+    return h;
+  }
+};
+}  // namespace std

@@ -1,0 +1,57 @@
+#include "cid/multicodec.hpp"
+
+#include <array>
+
+namespace ipfsmon::cid {
+
+namespace {
+struct Entry {
+  Multicodec codec;
+  std::string_view name;
+};
+
+constexpr std::array<Entry, 10> kEntries = {{
+    {Multicodec::Raw, "Raw"},
+    {Multicodec::DagProtobuf, "DagProtobuf"},
+    {Multicodec::DagCBOR, "DagCBOR"},
+    {Multicodec::Libp2pKey, "Libp2pKey"},
+    {Multicodec::GitRaw, "GitRaw"},
+    {Multicodec::EthereumBlock, "EthereumBlock"},
+    {Multicodec::EthereumTx, "EthereumTx"},
+    {Multicodec::BitcoinBlock, "BitcoinBlock"},
+    {Multicodec::ZcashBlock, "ZcashBlock"},
+    {Multicodec::DagJSON, "DagJSON"},
+}};
+}  // namespace
+
+std::string_view multicodec_name(Multicodec codec) {
+  for (const auto& e : kEntries) {
+    if (e.codec == codec) return e.name;
+  }
+  return "Unknown";
+}
+
+std::optional<Multicodec> multicodec_from_name(std::string_view name) {
+  for (const auto& e : kEntries) {
+    if (e.name == name) return e.codec;
+  }
+  return std::nullopt;
+}
+
+std::optional<Multicodec> multicodec_from_code(std::uint64_t code) {
+  for (const auto& e : kEntries) {
+    if (static_cast<std::uint64_t>(e.codec) == code) return e.codec;
+  }
+  return std::nullopt;
+}
+
+const std::vector<Multicodec>& all_multicodecs() {
+  static const std::vector<Multicodec> codecs = [] {
+    std::vector<Multicodec> v;
+    for (const auto& e : kEntries) v.push_back(e.codec);
+    return v;
+  }();
+  return codecs;
+}
+
+}  // namespace ipfsmon::cid

@@ -1,0 +1,39 @@
+// The multicodec registry subset relevant to IPFS data requests. Codes match
+// the canonical multiformats table; Table I of the paper reports request
+// shares broken down by exactly these codecs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ipfsmon::cid {
+
+enum class Multicodec : std::uint64_t {
+  Raw = 0x55,          // unencoded binary / file-DAG leaves
+  DagProtobuf = 0x70,  // Merkle-DAG nodes (files, directories)
+  DagCBOR = 0x71,      // IPLD CBOR
+  GitRaw = 0x78,       // raw git objects
+  EthereumBlock = 0x90,
+  EthereumTx = 0x93,
+  BitcoinBlock = 0xb0,
+  ZcashBlock = 0xc0,
+  DagJSON = 0x0129,  // IPLD JSON
+  Libp2pKey = 0x72,
+};
+
+/// Human-readable codec name as used in the paper's Table I.
+std::string_view multicodec_name(Multicodec codec);
+
+/// Parses a codec name (inverse of multicodec_name).
+std::optional<Multicodec> multicodec_from_name(std::string_view name);
+
+/// Parses a raw multicodec code. Unknown codes are rejected.
+std::optional<Multicodec> multicodec_from_code(std::uint64_t code);
+
+/// All codecs known to this registry, in code order.
+const std::vector<Multicodec>& all_multicodecs();
+
+}  // namespace ipfsmon::cid

@@ -1,0 +1,58 @@
+#include "cid/multihash.hpp"
+
+#include "util/varint.hpp"
+
+namespace ipfsmon::cid {
+
+Multihash Multihash::sha256_of(util::BytesView data) {
+  return wrap_sha256(crypto::sha256(data));
+}
+
+Multihash Multihash::wrap_sha256(const crypto::Sha256Digest& digest) {
+  return Multihash(HashCode::Sha2_256,
+                   util::Bytes(digest.begin(), digest.end()));
+}
+
+util::Bytes Multihash::encode() const {
+  util::Bytes out;
+  util::varint_append(out, static_cast<std::uint64_t>(code_));
+  util::varint_append(out, digest_.size());
+  out.insert(out.end(), digest_.begin(), digest_.end());
+  return out;
+}
+
+std::optional<std::pair<Multihash, std::size_t>> Multihash::decode(
+    util::BytesView data) {
+  const auto code = util::varint_decode(data);
+  if (!code) return std::nullopt;
+  if (code->value != static_cast<std::uint64_t>(HashCode::Identity) &&
+      code->value != static_cast<std::uint64_t>(HashCode::Sha2_256)) {
+    return std::nullopt;
+  }
+  const auto rest = data.subspan(code->consumed);
+  const auto len = util::varint_decode(rest);
+  if (!len) return std::nullopt;
+  const auto digest_view = rest.subspan(len->consumed);
+  if (digest_view.size() < len->value) return std::nullopt;
+  util::Bytes digest(digest_view.begin(),
+                     digest_view.begin() + static_cast<std::ptrdiff_t>(len->value));
+  const std::size_t consumed = code->consumed + len->consumed + len->value;
+  return std::make_pair(
+      Multihash(static_cast<HashCode>(code->value), std::move(digest)),
+      consumed);
+}
+
+bool Multihash::verifies(util::BytesView data) const {
+  switch (code_) {
+    case HashCode::Identity:
+      return digest_ == util::Bytes(data.begin(), data.end());
+    case HashCode::Sha2_256: {
+      const auto d = crypto::sha256(data);
+      return digest_.size() == d.size() &&
+             std::equal(digest_.begin(), digest_.end(), d.begin());
+    }
+  }
+  return false;
+}
+
+}  // namespace ipfsmon::cid

@@ -1,0 +1,52 @@
+// Multihash: self-describing hash digests (<code><length><digest>).
+// We support sha2-256 (the IPFS default) and identity hashes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+
+namespace ipfsmon::cid {
+
+enum class HashCode : std::uint64_t {
+  Identity = 0x00,
+  Sha2_256 = 0x12,
+};
+
+class Multihash {
+ public:
+  Multihash() = default;
+  Multihash(HashCode code, util::Bytes digest)
+      : code_(code), digest_(std::move(digest)) {}
+
+  /// Hashes `data` with sha2-256 and wraps the digest.
+  static Multihash sha256_of(util::BytesView data);
+
+  /// Wraps a precomputed sha2-256 digest.
+  static Multihash wrap_sha256(const crypto::Sha256Digest& digest);
+
+  HashCode code() const { return code_; }
+  const util::Bytes& digest() const { return digest_; }
+
+  /// Binary form: varint(code) varint(len) digest.
+  util::Bytes encode() const;
+
+  /// Decodes a multihash from the front of `data`; returns the multihash
+  /// and the number of bytes consumed, or nullopt if malformed.
+  static std::optional<std::pair<Multihash, std::size_t>> decode(
+      util::BytesView data);
+
+  /// True if `data` hashes to this multihash (integrity verification —
+  /// the Self-Certifying-Filesystem property from paper Sec. III-B).
+  bool verifies(util::BytesView data) const;
+
+  bool operator==(const Multihash&) const = default;
+
+ private:
+  HashCode code_ = HashCode::Sha2_256;
+  util::Bytes digest_;
+};
+
+}  // namespace ipfsmon::cid

@@ -1,0 +1,54 @@
+#include "crypto/keys.hpp"
+
+#include "util/base58.hpp"
+
+namespace ipfsmon::crypto {
+
+PeerId PeerId::from_public_key(util::BytesView public_key) {
+  return PeerId(sha256(public_key));
+}
+
+std::optional<PeerId> PeerId::from_base58(std::string_view text) {
+  const auto bytes = util::base58_decode(text);
+  if (!bytes || bytes->size() != 34) return std::nullopt;
+  if ((*bytes)[0] != 0x12 || (*bytes)[1] != 0x20) return std::nullopt;
+  Digest digest{};
+  std::copy(bytes->begin() + 2, bytes->end(), digest.begin());
+  return PeerId(digest);
+}
+
+std::string PeerId::to_base58() const {
+  util::Bytes multihash;
+  multihash.reserve(34);
+  multihash.push_back(0x12);  // sha2-256
+  multihash.push_back(0x20);  // 32-byte digest
+  multihash.insert(multihash.end(), digest_.begin(), digest_.end());
+  return util::base58_encode(multihash);
+}
+
+std::string PeerId::short_hex() const {
+  return util::to_hex(util::BytesView(digest_.data(), 6));
+}
+
+double PeerId::as_unit_interval() const {
+  std::uint64_t top = 0;
+  for (int i = 0; i < 8; ++i) {
+    top = (top << 8) | digest_[static_cast<std::size_t>(i)];
+  }
+  return static_cast<double>(top >> 11) * 0x1.0p-53;
+}
+
+KeyPair KeyPair::generate(util::RngStream& rng) {
+  KeyPair kp;
+  kp.public_key.resize(32);
+  kp.private_key.resize(32);
+  rng.fill_bytes(kp.public_key.data(), kp.public_key.size());
+  rng.fill_bytes(kp.private_key.data(), kp.private_key.size());
+  return kp;
+}
+
+PeerId KeyPair::peer_id() const {
+  return PeerId::from_public_key(public_key);
+}
+
+}  // namespace ipfsmon::crypto

@@ -1,0 +1,79 @@
+// Peer identity. IPFS nodes are identified by the hash of their public key,
+// H(k_pub). The simulator generates synthetic Ed25519-shaped keypairs (random
+// 32-byte keys) — only the *identity derivation* matters for the monitoring
+// methodology, not the signature math, which no studied mechanism exercises.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace ipfsmon::crypto {
+
+/// A 256-bit peer identifier: the SHA-256 digest of the node's public key.
+/// Doubles as the node's Kademlia ID (XOR metric operates on these bytes).
+class PeerId {
+ public:
+  using Digest = std::array<std::uint8_t, 32>;
+
+  PeerId() = default;
+  explicit PeerId(const Digest& digest) : digest_(digest) {}
+
+  /// Derives the PeerId for a public key.
+  static PeerId from_public_key(util::BytesView public_key);
+
+  /// Parses the base58btc multihash string form ("Qm...").
+  static std::optional<PeerId> from_base58(std::string_view text);
+
+  const Digest& digest() const { return digest_; }
+
+  /// Multihash-wrapped (0x12 0x20 <digest>) base58btc form, the familiar
+  /// "Qm..." representation.
+  std::string to_base58() const;
+
+  /// Short hex prefix for logs.
+  std::string short_hex() const;
+
+  /// Interprets the leading 8 bytes as a big-endian fraction of the ID
+  /// space, mapped to [0, 1). Used for uniformity QQ plots (paper Fig. 3).
+  double as_unit_interval() const;
+
+  auto operator<=>(const PeerId&) const = default;
+
+ private:
+  Digest digest_{};
+};
+
+/// A synthetic keypair: 32 random bytes of "public key" material (and the
+/// matching private half, unused by the protocols we model).
+struct KeyPair {
+  util::Bytes public_key;
+  util::Bytes private_key;
+
+  /// Generates a fresh keypair from the given stream.
+  static KeyPair generate(util::RngStream& rng);
+
+  PeerId peer_id() const;
+};
+
+}  // namespace ipfsmon::crypto
+
+namespace std {
+template <>
+struct hash<ipfsmon::crypto::PeerId> {
+  size_t operator()(const ipfsmon::crypto::PeerId& id) const noexcept {
+    // The digest is already uniformly distributed; take the first 8 bytes.
+    size_t h = 0;
+    for (int i = 0; i < 8; ++i) {
+      h = (h << 8) | id.digest()[static_cast<size_t>(i)];
+    }
+    return h;
+  }
+};
+}  // namespace std

@@ -1,0 +1,45 @@
+// SHA-256 (FIPS 180-4), implemented from scratch. Used for content
+// addressing (CIDs) and peer identity derivation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace ipfsmon::crypto {
+
+/// A 32-byte SHA-256 digest.
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 context.
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorbs more input.
+  void update(util::BytesView data);
+
+  /// Finalizes and returns the digest. The context must not be reused
+  /// afterwards (construct a fresh one).
+  Sha256Digest finalize();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_bits_ = 0;
+};
+
+/// One-shot convenience.
+Sha256Digest sha256(util::BytesView data);
+
+/// One-shot over a string's raw characters.
+Sha256Digest sha256_str(std::string_view s);
+
+/// Digest as a Bytes buffer.
+util::Bytes sha256_bytes(util::BytesView data);
+
+}  // namespace ipfsmon::crypto

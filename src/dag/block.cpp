@@ -1,0 +1,18 @@
+#include "dag/block.hpp"
+
+namespace ipfsmon::dag {
+
+Block Block::create(cid::Multicodec codec, util::Bytes data) {
+  cid::Cid id = cid::Cid::of_data(codec, data);
+  return Block(std::move(id), std::move(data));
+}
+
+Block Block::raw(util::Bytes data) {
+  return create(cid::Multicodec::Raw, std::move(data));
+}
+
+bool Block::verify() const {
+  return cid_.hash().verifies(data_);
+}
+
+}  // namespace ipfsmon::dag

@@ -1,0 +1,39 @@
+// A block is the unit of storage and transfer in IPFS: raw bytes plus the
+// CID that self-certifies them.
+#pragma once
+
+#include <memory>
+
+#include "cid/cid.hpp"
+#include "util/bytes.hpp"
+
+namespace ipfsmon::dag {
+
+class Block {
+ public:
+  Block() = default;
+  Block(cid::Cid id, util::Bytes data)
+      : cid_(std::move(id)), data_(std::move(data)) {}
+
+  /// Creates a block, deriving its CIDv1 from the data under `codec`.
+  static Block create(cid::Multicodec codec, util::Bytes data);
+
+  /// Creates a raw-codec block.
+  static Block raw(util::Bytes data);
+
+  const cid::Cid& id() const { return cid_; }
+  const util::Bytes& data() const { return data_; }
+  std::size_t size() const { return data_.size(); }
+
+  /// Re-derives the hash and checks it matches the CID (SFS integrity).
+  bool verify() const;
+
+ private:
+  cid::Cid cid_;
+  util::Bytes data_;
+};
+
+/// Blocks are shared between blockstores, the wire, and traces.
+using BlockPtr = std::shared_ptr<const Block>;
+
+}  // namespace ipfsmon::dag

@@ -1,0 +1,112 @@
+#include "dag/builder.hpp"
+
+#include <deque>
+#include <functional>
+#include <unordered_set>
+
+namespace ipfsmon::dag {
+
+std::uint64_t DagBuildResult::total_size() const {
+  std::uint64_t total = 0;
+  for (const auto& b : blocks) total += b.size();
+  return total;
+}
+
+DagBuildResult build_file(util::BytesView data, const BuilderOptions& options) {
+  DagBuildResult result;
+  const auto chunks = chunk_fixed(data, options.chunk_size);
+
+  if (chunks.size() == 1) {
+    // Small file: a single block, raw or dag-pb depending on options.
+    if (options.raw_leaves) {
+      Block b = Block::raw(chunks[0]);
+      result.root = b.id();
+      result.blocks.push_back(std::move(b));
+    } else {
+      DagNode node;
+      node.kind = DagNodeKind::File;
+      node.data = chunks[0];
+      Block b = node.to_block();
+      result.root = b.id();
+      result.blocks.push_back(std::move(b));
+    }
+    return result;
+  }
+
+  // Build leaves.
+  std::vector<DagLink> layer;
+  layer.reserve(chunks.size());
+  for (const auto& chunk : chunks) {
+    Block leaf = options.raw_leaves
+                     ? Block::raw(chunk)
+                     : [&] {
+                         DagNode n;
+                         n.kind = DagNodeKind::File;
+                         n.data = chunk;
+                         return n.to_block();
+                       }();
+    layer.push_back(DagLink{leaf.id(), "", leaf.size()});
+    result.blocks.push_back(std::move(leaf));
+  }
+
+  // Collapse layers until one root remains.
+  while (layer.size() > 1) {
+    std::vector<DagLink> next;
+    for (std::size_t i = 0; i < layer.size(); i += options.max_links) {
+      const std::size_t end = std::min(i + options.max_links, layer.size());
+      DagNode interior;
+      interior.kind = DagNodeKind::File;
+      std::uint64_t subtree = 0;
+      for (std::size_t j = i; j < end; ++j) {
+        interior.links.push_back(layer[j]);
+        subtree += layer[j].total_size;
+      }
+      Block b = interior.to_block();
+      subtree += b.size();
+      next.push_back(DagLink{b.id(), "", subtree});
+      result.blocks.push_back(std::move(b));
+    }
+    layer = std::move(next);
+  }
+
+  result.root = layer[0].target;
+  return result;
+}
+
+DagBuildResult build_directory(const std::vector<DirEntry>& entries) {
+  DagNode dir;
+  dir.kind = DagNodeKind::Directory;
+  for (const auto& entry : entries) {
+    dir.links.push_back(DagLink{entry.target, entry.name, entry.size});
+  }
+  Block b = dir.to_block();
+  DagBuildResult result;
+  result.root = b.id();
+  result.blocks.push_back(std::move(b));
+  return result;
+}
+
+std::vector<cid::Cid> traverse_bfs(
+    const cid::Cid& root,
+    const std::function<const Block*(const cid::Cid&)>& lookup) {
+  std::vector<cid::Cid> order;
+  std::unordered_set<cid::Cid> seen;
+  std::deque<cid::Cid> queue{root};
+  seen.insert(root);
+  while (!queue.empty()) {
+    const cid::Cid current = queue.front();
+    queue.pop_front();
+    order.push_back(current);
+    const Block* block = lookup(current);
+    if (block == nullptr) continue;
+    if (current.codec() != cid::Multicodec::DagProtobuf) continue;
+    const auto node = DagNode::from_bytes(block->data());
+    if (!node) continue;
+    for (const auto& link : node->links) {
+      if (seen.insert(link.target).second) queue.push_back(link.target);
+    }
+  }
+  return order;
+}
+
+}  // namespace ipfsmon::dag

@@ -1,0 +1,54 @@
+// Merkle-DAG construction: turns file bytes and directory listings into
+// block sets with a single root CID, mirroring how go-ipfs imports content.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dag/block.hpp"
+#include "dag/chunker.hpp"
+#include "dag/dag_node.hpp"
+
+namespace ipfsmon::dag {
+
+/// The result of importing content: all blocks plus the root's CID.
+struct DagBuildResult {
+  cid::Cid root;
+  std::vector<Block> blocks;  // root last
+
+  std::uint64_t total_size() const;
+};
+
+struct BuilderOptions {
+  std::size_t chunk_size = kDefaultChunkSize;
+  /// Max children per interior node before adding another DAG layer
+  /// (go-ipfs default fan-out is 174 for balanced layout).
+  std::size_t max_links = 174;
+  /// Leaves as Raw blocks (modern default) vs DagProtobuf-wrapped (legacy).
+  bool raw_leaves = true;
+};
+
+/// Imports a file: chunk → leaf blocks → balanced interior layers → root.
+/// Files that fit one chunk produce a single block.
+DagBuildResult build_file(util::BytesView data, const BuilderOptions& options = {});
+
+/// A named directory entry pointing at an already-built subtree.
+struct DirEntry {
+  std::string name;
+  cid::Cid target;
+  std::uint64_t size = 0;
+};
+
+/// Builds a directory node over existing entries. Returns the directory
+/// block only (entries' blocks are owned by their own build results).
+DagBuildResult build_directory(const std::vector<DirEntry>& entries);
+
+/// Walks a DAG rooted at `root` through a block lookup callback, returning
+/// CIDs in BFS order. Missing blocks terminate that branch silently (the
+/// caller may only hold a partial DAG).
+std::vector<cid::Cid> traverse_bfs(
+    const cid::Cid& root,
+    const std::function<const Block*(const cid::Cid&)>& lookup);
+
+}  // namespace ipfsmon::dag

@@ -1,0 +1,23 @@
+#include "dag/chunker.hpp"
+
+#include <stdexcept>
+
+namespace ipfsmon::dag {
+
+std::vector<util::Bytes> chunk_fixed(util::BytesView data,
+                                     std::size_t chunk_size) {
+  if (chunk_size == 0) throw std::invalid_argument("chunk_fixed: size 0");
+  std::vector<util::Bytes> chunks;
+  if (data.empty()) {
+    chunks.emplace_back();
+    return chunks;
+  }
+  for (std::size_t off = 0; off < data.size(); off += chunk_size) {
+    const std::size_t len = std::min(chunk_size, data.size() - off);
+    chunks.emplace_back(data.begin() + static_cast<std::ptrdiff_t>(off),
+                        data.begin() + static_cast<std::ptrdiff_t>(off + len));
+  }
+  return chunks;
+}
+
+}  // namespace ipfsmon::dag

@@ -1,0 +1,21 @@
+// Fixed-size chunking of file bytes into blocks (the go-ipfs default is
+// 256 KiB chunks; paper Sec. III-B: "large files are chunked into smaller
+// data blocks").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace ipfsmon::dag {
+
+constexpr std::size_t kDefaultChunkSize = 256 * 1024;
+
+/// Splits `data` into consecutive chunks of at most `chunk_size` bytes.
+/// Empty input yields a single empty chunk (a zero-length file is still one
+/// block in IPFS).
+std::vector<util::Bytes> chunk_fixed(util::BytesView data,
+                                     std::size_t chunk_size = kDefaultChunkSize);
+
+}  // namespace ipfsmon::dag

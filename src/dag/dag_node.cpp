@@ -1,0 +1,74 @@
+#include "dag/dag_node.hpp"
+
+#include "dag/protobuf.hpp"
+
+namespace ipfsmon::dag {
+
+namespace {
+// PBLink field numbers (dag-pb schema).
+constexpr std::uint32_t kLinkHash = 1;
+constexpr std::uint32_t kLinkName = 2;
+constexpr std::uint32_t kLinkTsize = 3;
+// PBNode field numbers.
+constexpr std::uint32_t kNodeData = 1;
+constexpr std::uint32_t kNodeLinks = 2;
+// Inside Data we store a one-byte kind tag followed by the payload; this
+// stands in for the UnixFS envelope go-ipfs uses.
+}  // namespace
+
+Block DagNode::to_block() const {
+  ProtoWriter node;
+  // go-merkledag serializes Links before Data.
+  for (const auto& link : links) {
+    ProtoWriter pb_link;
+    pb_link.bytes_field(kLinkHash, link.target.encode());
+    pb_link.string_field(kLinkName, link.name);
+    pb_link.varint_field(kLinkTsize, link.total_size);
+    node.message_field(kNodeLinks, pb_link.bytes());
+  }
+  util::Bytes payload;
+  payload.push_back(static_cast<std::uint8_t>(kind));
+  payload.insert(payload.end(), data.begin(), data.end());
+  node.bytes_field(kNodeData, payload);
+  return Block::create(cid::Multicodec::DagProtobuf, node.take());
+}
+
+std::optional<DagNode> DagNode::from_bytes(util::BytesView bytes) {
+  DagNode out;
+  bool saw_data = false;
+  ProtoReader reader(bytes);
+  while (auto field = reader.next()) {
+    if (field->number == kNodeLinks &&
+        field->type == WireType::LengthDelimited) {
+      DagLink link;
+      ProtoReader link_reader(field->payload);
+      while (auto lf = link_reader.next()) {
+        if (lf->number == kLinkHash && lf->type == WireType::LengthDelimited) {
+          auto target = cid::Cid::decode(lf->payload);
+          if (!target) return std::nullopt;
+          link.target = *target;
+        } else if (lf->number == kLinkName &&
+                   lf->type == WireType::LengthDelimited) {
+          link.name = util::string_of(lf->payload);
+        } else if (lf->number == kLinkTsize && lf->type == WireType::Varint) {
+          link.total_size = lf->varint;
+        }
+      }
+      if (!link_reader.ok_at_end()) return std::nullopt;
+      out.links.push_back(std::move(link));
+    } else if (field->number == kNodeData &&
+               field->type == WireType::LengthDelimited) {
+      if (field->payload.empty()) return std::nullopt;
+      out.kind = static_cast<DagNodeKind>(field->payload[0]);
+      if (out.kind != DagNodeKind::File && out.kind != DagNodeKind::Directory) {
+        return std::nullopt;
+      }
+      out.data.assign(field->payload.begin() + 1, field->payload.end());
+      saw_data = true;
+    }
+  }
+  if (!reader.ok_at_end() || !saw_data) return std::nullopt;
+  return out;
+}
+
+}  // namespace ipfsmon::dag

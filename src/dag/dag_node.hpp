@@ -1,0 +1,46 @@
+// dag-pb Merkle-DAG nodes (PBNode/PBLink), the encoding IPFS uses for files
+// and directories. Unlike a Merkle tree, nodes may have multiple parents and
+// interior nodes may carry data (paper Sec. III-B).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cid/cid.hpp"
+#include "dag/block.hpp"
+
+namespace ipfsmon::dag {
+
+/// A named, sized link to a child node.
+struct DagLink {
+  cid::Cid target;
+  std::string name;
+  std::uint64_t total_size = 0;  // cumulative size of the linked subtree
+
+  bool operator==(const DagLink&) const = default;
+};
+
+/// What a dag-pb node represents. Stored in the node's Data field.
+enum class DagNodeKind : std::uint8_t {
+  File = 1,
+  Directory = 2,
+};
+
+/// A decoded dag-pb node.
+struct DagNode {
+  DagNodeKind kind = DagNodeKind::File;
+  std::vector<DagLink> links;
+  util::Bytes data;  // inline file data (leaves / small files)
+
+  /// Serializes to dag-pb wire format and wraps in a DagProtobuf block.
+  Block to_block() const;
+
+  /// Parses a dag-pb block payload.
+  static std::optional<DagNode> from_bytes(util::BytesView bytes);
+
+  bool operator==(const DagNode&) const = default;
+};
+
+}  // namespace ipfsmon::dag

@@ -1,0 +1,71 @@
+#include "dag/protobuf.hpp"
+
+#include "util/varint.hpp"
+
+namespace ipfsmon::dag {
+
+void ProtoWriter::tag(std::uint32_t field, WireType type) {
+  util::varint_append(out_, (static_cast<std::uint64_t>(field) << 3) |
+                                static_cast<std::uint64_t>(type));
+}
+
+void ProtoWriter::varint_field(std::uint32_t field, std::uint64_t value) {
+  tag(field, WireType::Varint);
+  util::varint_append(out_, value);
+}
+
+void ProtoWriter::bytes_field(std::uint32_t field, util::BytesView value) {
+  tag(field, WireType::LengthDelimited);
+  util::varint_append(out_, value.size());
+  out_.insert(out_.end(), value.begin(), value.end());
+}
+
+void ProtoWriter::string_field(std::uint32_t field, std::string_view value) {
+  bytes_field(field,
+              util::BytesView(reinterpret_cast<const std::uint8_t*>(value.data()),
+                              value.size()));
+}
+
+void ProtoWriter::message_field(std::uint32_t field, util::BytesView serialized) {
+  bytes_field(field, serialized);
+}
+
+std::optional<ProtoReader::Field> ProtoReader::next() {
+  if (failed_ || pos_ >= data_.size()) return std::nullopt;
+  const auto key = util::varint_decode(data_.subspan(pos_));
+  if (!key) {
+    failed_ = true;
+    return std::nullopt;
+  }
+  pos_ += key->consumed;
+  Field field;
+  field.number = static_cast<std::uint32_t>(key->value >> 3);
+  const auto wire = static_cast<std::uint8_t>(key->value & 0x7);
+  if (wire == 0) {
+    field.type = WireType::Varint;
+    const auto v = util::varint_decode(data_.subspan(pos_));
+    if (!v) {
+      failed_ = true;
+      return std::nullopt;
+    }
+    field.varint = v->value;
+    pos_ += v->consumed;
+    return field;
+  }
+  if (wire == 2) {
+    field.type = WireType::LengthDelimited;
+    const auto len = util::varint_decode(data_.subspan(pos_));
+    if (!len || pos_ + len->consumed + len->value > data_.size()) {
+      failed_ = true;
+      return std::nullopt;
+    }
+    pos_ += len->consumed;
+    field.payload = data_.subspan(pos_, len->value);
+    pos_ += len->value;
+    return field;
+  }
+  failed_ = true;  // wire types 1/5 (fixed64/32) unused by dag-pb
+  return std::nullopt;
+}
+
+}  // namespace ipfsmon::dag

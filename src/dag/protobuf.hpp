@@ -1,0 +1,58 @@
+// A minimal protobuf wire-format writer/reader — just enough to encode and
+// decode dag-pb PBNode/PBLink messages the way go-merkledag does.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.hpp"
+
+namespace ipfsmon::dag {
+
+enum class WireType : std::uint8_t {
+  Varint = 0,
+  LengthDelimited = 2,
+};
+
+/// Appends protobuf fields to a buffer.
+class ProtoWriter {
+ public:
+  void varint_field(std::uint32_t field, std::uint64_t value);
+  void bytes_field(std::uint32_t field, util::BytesView value);
+  void string_field(std::uint32_t field, std::string_view value);
+  /// Embeds a serialized sub-message as a length-delimited field.
+  void message_field(std::uint32_t field, util::BytesView serialized);
+
+  const util::Bytes& bytes() const { return out_; }
+  util::Bytes take() { return std::move(out_); }
+
+ private:
+  void tag(std::uint32_t field, WireType type);
+  util::Bytes out_;
+};
+
+/// Streams protobuf fields out of a buffer.
+class ProtoReader {
+ public:
+  explicit ProtoReader(util::BytesView data) : data_(data) {}
+
+  struct Field {
+    std::uint32_t number = 0;
+    WireType type = WireType::Varint;
+    std::uint64_t varint = 0;        // valid when type == Varint
+    util::BytesView payload;         // valid when type == LengthDelimited
+  };
+
+  /// Reads the next field; nullopt at end-of-buffer or on malformed input.
+  std::optional<Field> next();
+
+  /// True if the whole buffer was consumed without errors.
+  bool ok_at_end() const { return pos_ == data_.size() && !failed_; }
+
+ private:
+  util::BytesView data_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace ipfsmon::dag

@@ -1,0 +1,31 @@
+// Kademlia keyspace: 256-bit keys under the XOR metric. Node keys are the
+// peer's digest; content keys are the CID's sha2-256 digest.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "cid/cid.hpp"
+#include "crypto/keys.hpp"
+
+namespace ipfsmon::dht {
+
+using Key = std::array<std::uint8_t, 32>;
+
+/// A node's position in the keyspace.
+Key key_of(const crypto::PeerId& peer);
+
+/// A content item's position in the keyspace.
+Key key_of(const cid::Cid& cid);
+
+/// XOR distance between two keys.
+Key xor_distance(const Key& a, const Key& b);
+
+/// True if distance(a, target) < distance(b, target).
+bool closer(const Key& a, const Key& b, const Key& target);
+
+/// Number of leading zero bits of the XOR distance — i.e. the length of
+/// the common prefix; determines the k-bucket index.
+int common_prefix_length(const Key& a, const Key& b);
+
+}  // namespace ipfsmon::dht

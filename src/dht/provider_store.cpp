@@ -1,0 +1,47 @@
+#include "dht/provider_store.hpp"
+
+#include <algorithm>
+
+namespace ipfsmon::dht {
+
+void ProviderStore::add(const Key& key, const PeerRecord& provider,
+                        util::SimTime now) {
+  auto& entries = records_[key];
+  for (auto& entry : entries) {
+    if (entry.provider.id == provider.id) {
+      entry.provider = provider;
+      entry.expires = now + ttl_;
+      return;
+    }
+  }
+  entries.push_back(Entry{provider, now + ttl_});
+}
+
+std::vector<PeerRecord> ProviderStore::get(const Key& key,
+                                           util::SimTime now) const {
+  std::vector<PeerRecord> out;
+  const auto it = records_.find(key);
+  if (it == records_.end()) return out;
+  for (const auto& entry : it->second) {
+    if (entry.expires > now) out.push_back(entry.provider);
+  }
+  return out;
+}
+
+void ProviderStore::sweep(util::SimTime now) {
+  for (auto it = records_.begin(); it != records_.end();) {
+    auto& entries = it->second;
+    entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                 [now](const Entry& e) {
+                                   return e.expires <= now;
+                                 }),
+                  entries.end());
+    if (entries.empty()) {
+      it = records_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace ipfsmon::dht

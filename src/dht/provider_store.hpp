@@ -1,0 +1,48 @@
+// Provider records held by DHT servers: which peers claim to have which
+// content keys. Records expire (go-ipfs default: 24h).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "dht/key.hpp"
+#include "dht/message.hpp"
+#include "util/time.hpp"
+
+namespace ipfsmon::dht {
+
+class ProviderStore {
+ public:
+  explicit ProviderStore(util::SimDuration ttl = 24 * util::kHour)
+      : ttl_(ttl) {}
+
+  /// Registers `provider` for `key` at time `now` (refreshes expiry).
+  void add(const Key& key, const PeerRecord& provider, util::SimTime now);
+
+  /// All unexpired providers for `key`.
+  std::vector<PeerRecord> get(const Key& key, util::SimTime now) const;
+
+  /// Drops expired records (called opportunistically).
+  void sweep(util::SimTime now);
+
+  std::size_t key_count() const { return records_.size(); }
+
+ private:
+  struct Entry {
+    PeerRecord provider;
+    util::SimTime expires;
+  };
+
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      std::size_t h = 0;
+      for (int i = 0; i < 8; ++i) h = (h << 8) | k[static_cast<std::size_t>(i)];
+      return h;
+    }
+  };
+
+  util::SimDuration ttl_;
+  std::unordered_map<Key, std::vector<Entry>, KeyHash> records_;
+};
+
+}  // namespace ipfsmon::dht

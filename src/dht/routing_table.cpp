@@ -1,0 +1,73 @@
+#include "dht/routing_table.hpp"
+
+#include <algorithm>
+
+namespace ipfsmon::dht {
+
+RoutingTable::RoutingTable(const crypto::PeerId& self, std::size_t bucket_size)
+    : self_(self), self_key_(key_of(self)), bucket_size_(bucket_size),
+      buckets_(256) {}
+
+int RoutingTable::bucket_index(const crypto::PeerId& peer) const {
+  const int cpl = common_prefix_length(self_key_, key_of(peer));
+  return std::min(cpl, 255);
+}
+
+bool RoutingTable::add(const crypto::PeerId& peer) {
+  if (peer == self_) return false;
+  auto& bucket = buckets_[static_cast<std::size_t>(bucket_index(peer))];
+  const auto it = std::find(bucket.begin(), bucket.end(), peer);
+  if (it != bucket.end()) {
+    bucket.splice(bucket.begin(), bucket, it);  // refresh to MRU
+    return true;
+  }
+  if (bucket.size() >= bucket_size_) return false;
+  bucket.push_front(peer);
+  ++size_;
+  return true;
+}
+
+void RoutingTable::remove(const crypto::PeerId& peer) {
+  auto& bucket = buckets_[static_cast<std::size_t>(bucket_index(peer))];
+  const auto it = std::find(bucket.begin(), bucket.end(), peer);
+  if (it != bucket.end()) {
+    bucket.erase(it);
+    --size_;
+  }
+}
+
+bool RoutingTable::contains(const crypto::PeerId& peer) const {
+  const auto& bucket = buckets_[static_cast<std::size_t>(bucket_index(peer))];
+  return std::find(bucket.begin(), bucket.end(), peer) != bucket.end();
+}
+
+std::vector<crypto::PeerId> RoutingTable::closest(const Key& target,
+                                                  std::size_t count) const {
+  std::vector<crypto::PeerId> peers = all_peers();
+  std::sort(peers.begin(), peers.end(),
+            [&target](const crypto::PeerId& a, const crypto::PeerId& b) {
+              return closer(key_of(a), key_of(b), target);
+            });
+  if (peers.size() > count) peers.resize(count);
+  return peers;
+}
+
+std::vector<crypto::PeerId> RoutingTable::all_peers() const {
+  std::vector<crypto::PeerId> peers;
+  peers.reserve(size_);
+  for (const auto& bucket : buckets_) {
+    peers.insert(peers.end(), bucket.begin(), bucket.end());
+  }
+  return peers;
+}
+
+int RoutingTable::least_full_bucket() const {
+  // Only the first few buckets are realistically fillable (bucket i needs
+  // peers sharing an i-bit prefix); scan a small prefix of the table.
+  for (int i = 0; i < 16; ++i) {
+    if (buckets_[static_cast<std::size_t>(i)].size() < bucket_size_) return i;
+  }
+  return -1;
+}
+
+}  // namespace ipfsmon::dht

@@ -1,0 +1,54 @@
+// Kademlia routing table: 256 k-buckets of DHT *server* peers, bucketed by
+// common-prefix length with the local key. DHT clients are never inserted
+// (paper Sec. III-A) — which is exactly why crawls cannot enumerate them.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <optional>
+#include <vector>
+
+#include "dht/key.hpp"
+
+namespace ipfsmon::dht {
+
+constexpr std::size_t kBucketSize = 20;  // Kademlia k
+
+class RoutingTable {
+ public:
+  RoutingTable(const crypto::PeerId& self, std::size_t bucket_size = kBucketSize);
+
+  /// Inserts or refreshes a server peer. Returns false if the bucket was
+  /// full (classic Kademlia would ping the LRU entry; we keep it).
+  bool add(const crypto::PeerId& peer);
+
+  void remove(const crypto::PeerId& peer);
+
+  bool contains(const crypto::PeerId& peer) const;
+
+  /// The `count` peers closest to `target` under the XOR metric.
+  std::vector<crypto::PeerId> closest(const Key& target,
+                                      std::size_t count) const;
+
+  /// All peers currently in any bucket.
+  std::vector<crypto::PeerId> all_peers() const;
+
+  std::size_t size() const { return size_; }
+
+  /// Index of the lowest-index empty/under-full bucket, used by the
+  /// refresh cycle to pick lookup targets. -1 if all sampled full.
+  int least_full_bucket() const;
+
+ private:
+  int bucket_index(const crypto::PeerId& peer) const;
+
+  crypto::PeerId self_;
+  Key self_key_;
+  std::size_t bucket_size_;
+  std::size_t size_ = 0;
+  // Bucket i holds peers whose common prefix with self is exactly i bits
+  // (i clamped to 255). MRU at the front.
+  std::vector<std::list<crypto::PeerId>> buckets_;
+};
+
+}  // namespace ipfsmon::dht

@@ -1,0 +1,82 @@
+#include "monitor/passive_monitor.hpp"
+
+namespace ipfsmon::monitor {
+
+node::NodeConfig PassiveMonitor::monitorize(node::NodeConfig config) {
+  config.nat = false;          // publicly reachable by design
+  config.dht_server = true;    // regular DHT participant
+  config.max_degree = std::numeric_limits<std::size_t>::max();
+  config.high_water = 0;       // never trim: peers are never evicted
+  config.low_water = 0;
+  config.target_degree = 0;    // passive: no active peer search
+  config.discovery_dials = 0;
+  config.provide_downloaded = false;  // monitors hold no data
+  return config;
+}
+
+PassiveMonitor::PassiveMonitor(net::Network& network, crypto::KeyPair keys,
+                               const net::Address& address,
+                               const std::string& country,
+                               MonitorConfig config, util::RngStream rng)
+    : node::IpfsNode(network, std::move(keys), address, country,
+                     monitorize(config.node), std::move(rng)),
+      monitor_id_(config.monitor_id),
+      snapshot_interval_(config.snapshot_interval) {
+  engine().set_listener([this](const crypto::PeerId& from,
+                               net::ConnectionId /*conn*/,
+                               const bitswap::BitswapMessage& message) {
+    record_message(from, message);
+  });
+}
+
+void PassiveMonitor::record_message(const crypto::PeerId& from,
+                                    const bitswap::BitswapMessage& message) {
+  if (message.entries.empty()) return;
+  bitswap_active_.insert(from);
+  const net::NodeRecord* rec = network().record(from);
+  const net::Address addr = rec != nullptr ? rec->address : net::Address{};
+  const util::SimTime now = network().scheduler().now();
+  for (const auto& entry : message.entries) {
+    trace::TraceEntry t;
+    t.timestamp = now;
+    t.peer = from;
+    t.address = addr;
+    t.type = entry.type;
+    // Salted requests (countermeasure, Sec. VI-C item 4) hide the real CID:
+    // the monitor can only record an opaque stand-in. With fresh per-entry
+    // salts, every request looks like a distinct, unlinkable CID.
+    t.cid = entry.salted ? bitswap::opaque_cid_for(entry) : entry.cid;
+    t.monitor = monitor_id_;
+    trace_.append(std::move(t));
+  }
+}
+
+void PassiveMonitor::on_peer_connected_hook(const crypto::PeerId& peer) {
+  peers_seen_.insert(peer);
+}
+
+void PassiveMonitor::start_snapshots() {
+  schedule_snapshot();
+}
+
+void PassiveMonitor::stop_snapshots() { snapshot_timer_.cancel(); }
+
+void PassiveMonitor::schedule_snapshot() {
+  snapshot_timer_ =
+      network().scheduler().schedule_after(snapshot_interval_, [this]() {
+        PeerSnapshot snapshot;
+        snapshot.time = network().scheduler().now();
+        snapshot.peers = network().connected_peers(id());
+        snapshots_.push_back(std::move(snapshot));
+        schedule_snapshot();
+      });
+}
+
+void PassiveMonitor::reset_observations() {
+  trace_ = trace::Trace{};
+  snapshots_.clear();
+  peers_seen_.clear();
+  bitswap_active_.clear();
+}
+
+}  // namespace ipfsmon::monitor

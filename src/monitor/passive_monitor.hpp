@@ -1,0 +1,81 @@
+// The passive monitoring node (paper Sec. IV-A): a modified IPFS node with
+// effectively infinite connection capacity that accepts every inbound
+// connection, never evicts peers, stays otherwise indistinguishable from a
+// regular node (bootstrapping + DHT maintenance only, no own requests), and
+// records every Bitswap message it receives as a trace of
+// (timestamp, node_ID, address, request_type, CID) tuples.
+#pragma once
+
+#include <limits>
+#include <unordered_set>
+
+#include "node/ipfs_node.hpp"
+#include "trace/trace.hpp"
+
+namespace ipfsmon::monitor {
+
+struct MonitorConfig {
+  trace::MonitorId monitor_id = 0;
+  /// Periodic connected-peer-set snapshots feed the network-size
+  /// estimators (Sec. IV-C).
+  util::SimDuration snapshot_interval = 1 * util::kHour;
+  /// Base node behaviour. Overridden where monitoring requires: unlimited
+  /// degree, no eviction, DHT server mode, no active discovery.
+  node::NodeConfig node;
+};
+
+/// One connected-peer-set snapshot.
+struct PeerSnapshot {
+  util::SimTime time = 0;
+  std::vector<crypto::PeerId> peers;
+};
+
+class PassiveMonitor : public node::IpfsNode {
+ public:
+  PassiveMonitor(net::Network& network, crypto::KeyPair keys,
+                 const net::Address& address, const std::string& country,
+                 MonitorConfig config, util::RngStream rng);
+
+  trace::MonitorId monitor_id() const { return monitor_id_; }
+
+  /// The raw trace recorded so far.
+  const trace::Trace& recorded() const { return trace_; }
+  trace::Trace& recorded() { return trace_; }
+
+  /// Starts periodic peer-set snapshots (call after go_online).
+  void start_snapshots();
+  void stop_snapshots();
+  const std::vector<PeerSnapshot>& snapshots() const { return snapshots_; }
+
+  /// All unique peers ever connected (the paper's weekly-total numbers).
+  const std::unordered_set<crypto::PeerId>& peers_seen() const {
+    return peers_seen_;
+  }
+
+  /// Peers that sent at least one Bitswap request or cancel.
+  const std::unordered_set<crypto::PeerId>& bitswap_active_peers() const {
+    return bitswap_active_;
+  }
+
+  /// Clears trace and counters (e.g. between warm-up and measurement).
+  void reset_observations();
+
+ protected:
+  void on_peer_connected_hook(const crypto::PeerId& peer) override;
+
+ private:
+  static node::NodeConfig monitorize(node::NodeConfig config);
+  void record_message(const crypto::PeerId& from,
+                      const bitswap::BitswapMessage& message);
+  void schedule_snapshot();
+
+  trace::MonitorId monitor_id_;
+  util::SimDuration snapshot_interval_;
+  trace::Trace trace_;
+  std::vector<PeerSnapshot> snapshots_;
+  std::unordered_set<crypto::PeerId> peers_seen_;
+  std::unordered_set<crypto::PeerId> bitswap_active_;
+  sim::EventHandle snapshot_timer_;
+};
+
+}  // namespace ipfsmon::monitor

@@ -1,0 +1,46 @@
+#include "net/address.hpp"
+
+#include "util/strings.hpp"
+
+namespace ipfsmon::net {
+
+std::string Address::ip_string() const {
+  return util::format("%u.%u.%u.%u", (ip >> 24) & 0xff, (ip >> 16) & 0xff,
+                      (ip >> 8) & 0xff, ip & 0xff);
+}
+
+std::string Address::to_string() const {
+  return util::format("/ip4/%s/tcp/%u", ip_string().c_str(), port);
+}
+
+std::optional<Address> Address::from_string(std::string_view text) {
+  const auto parts = util::split(text, '/');
+  // "/ip4/a.b.c.d/tcp/port" splits into ["", "ip4", "a.b.c.d", "tcp", "port"].
+  if (parts.size() != 5 || !parts[0].empty() || parts[1] != "ip4" ||
+      parts[3] != "tcp") {
+    return std::nullopt;
+  }
+  const auto octets = util::split(parts[2], '.');
+  if (octets.size() != 4) return std::nullopt;
+  std::uint32_t ip = 0;
+  for (const auto& o : octets) {
+    if (o.empty() || o.size() > 3) return std::nullopt;
+    int value = 0;
+    for (char c : o) {
+      if (c < '0' || c > '9') return std::nullopt;
+      value = value * 10 + (c - '0');
+    }
+    if (value > 255) return std::nullopt;
+    ip = (ip << 8) | static_cast<std::uint32_t>(value);
+  }
+  long port = 0;
+  for (char c : parts[4]) {
+    if (c < '0' || c > '9') return std::nullopt;
+    port = port * 10 + (c - '0');
+    if (port > 65535) return std::nullopt;
+  }
+  if (parts[4].empty()) return std::nullopt;
+  return Address{ip, static_cast<std::uint16_t>(port)};
+}
+
+}  // namespace ipfsmon::net

@@ -1,0 +1,39 @@
+// Network addresses in the simulated overlay: IPv4 + TCP port, with a
+// multiaddr-style string form for display and trace output.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ipfsmon::net {
+
+struct Address {
+  std::uint32_t ip = 0;   // host byte order
+  std::uint16_t port = 4001;  // IPFS default swarm port
+
+  /// Dotted-quad "a.b.c.d".
+  std::string ip_string() const;
+
+  /// Multiaddr-style "/ip4/a.b.c.d/tcp/port".
+  std::string to_string() const;
+
+  /// Parses the multiaddr-style form produced by to_string().
+  static std::optional<Address> from_string(std::string_view text);
+
+  auto operator<=>(const Address&) const = default;
+};
+
+}  // namespace ipfsmon::net
+
+namespace std {
+template <>
+struct hash<ipfsmon::net::Address> {
+  size_t operator()(const ipfsmon::net::Address& a) const noexcept {
+    return (static_cast<size_t>(a.ip) << 16) ^ a.port;
+  }
+};
+}  // namespace std

@@ -1,0 +1,248 @@
+#include "net/network.hpp"
+
+#include <stdexcept>
+
+namespace ipfsmon::net {
+
+Network::Network(sim::Scheduler& scheduler, GeoDatabase geo, std::uint64_t seed)
+    : scheduler_(scheduler), geo_(std::move(geo)), rng_(seed, "network") {}
+
+void Network::register_node(const crypto::PeerId& id, const Address& addr,
+                            const std::string& country, bool nat, Host* host,
+                            double discovery_weight) {
+  if (host == nullptr) throw std::invalid_argument("register_node: null host");
+  NodeRecord record{id,   addr, country, nat, /*online=*/false,
+                    host, discovery_weight};
+  nodes_[id] = record;
+}
+
+void Network::set_online(const crypto::PeerId& id, bool online) {
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end()) throw std::invalid_argument("set_online: unknown node");
+  if (it->second.online == online) return;
+  if (!online) close_all_of(id);
+  it->second.online = online;
+
+  if (!it->second.nat) {
+    const bool hub = it->second.discovery_weight > 1.0;
+    if (online) {
+      if (hub) {
+        online_hubs_.emplace_back(id, it->second.discovery_weight);
+        online_hub_weight_ += it->second.discovery_weight;
+      } else {
+        online_public_index_[id] = online_public_.size();
+        online_public_.push_back(id);
+      }
+    } else {
+      if (hub) {
+        for (auto hit = online_hubs_.begin(); hit != online_hubs_.end();
+             ++hit) {
+          if (hit->first == id) {
+            online_hub_weight_ -= hit->second;
+            online_hubs_.erase(hit);
+            break;
+          }
+        }
+      } else {
+        const auto idx_it = online_public_index_.find(id);
+        if (idx_it != online_public_index_.end()) {
+          const std::size_t idx = idx_it->second;
+          online_public_index_.erase(idx_it);
+          if (idx + 1 != online_public_.size()) {
+            online_public_[idx] = online_public_.back();
+            online_public_index_[online_public_[idx]] = idx;
+          }
+          online_public_.pop_back();
+        }
+      }
+    }
+  }
+}
+
+std::optional<crypto::PeerId> Network::sample_online_public(
+    util::RngStream& rng) const {
+  const double regular_weight = static_cast<double>(online_public_.size());
+  const double total = regular_weight + online_hub_weight_;
+  if (total <= 0.0) return std::nullopt;
+  if (rng.uniform() * total < regular_weight) {
+    return online_public_[rng.uniform_index(online_public_.size())];
+  }
+  double target = rng.uniform() * online_hub_weight_;
+  for (const auto& [id, weight] : online_hubs_) {
+    target -= weight;
+    if (target < 0.0) return id;
+  }
+  return online_hubs_.back().first;
+}
+
+bool Network::is_online(const crypto::PeerId& id) const {
+  const auto it = nodes_.find(id);
+  return it != nodes_.end() && it->second.online;
+}
+
+const NodeRecord* Network::record(const crypto::PeerId& id) const {
+  const auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+util::SimDuration Network::sample_latency(const crypto::PeerId& a,
+                                          const crypto::PeerId& b) {
+  const NodeRecord* ra = record(a);
+  const NodeRecord* rb = record(b);
+  const std::string ca = ra != nullptr ? ra->country : "??";
+  const std::string cb = rb != nullptr ? rb->country : "??";
+  return geo_.latency(ca, cb, rng_);
+}
+
+ConnectionId Network::establish(const crypto::PeerId& from,
+                                const crypto::PeerId& to) {
+  const ConnectionId id = next_connection_id_++;
+  connections_[id] =
+      Connection{from, to, scheduler_.now(), scheduler_.now(), scheduler_.now()};
+  adjacency_[from][to] = id;
+  adjacency_[to][from] = id;
+  return id;
+}
+
+void Network::dial(const crypto::PeerId& from, const crypto::PeerId& to,
+                   std::function<void(std::optional<ConnectionId>)> on_result) {
+  // One round trip to establish (SYN + accept), sampled now for determinism.
+  const util::SimDuration rtt = 2 * sample_latency(from, to);
+  scheduler_.schedule_after(rtt, [this, from, to,
+                                  cb = std::move(on_result)]() {
+    // Conditions are re-checked at completion time: either endpoint may
+    // have churned while the dial was in flight.
+    if (!is_online(from) || !is_online(to)) {
+      if (cb) cb(std::nullopt);
+      return;
+    }
+    if (from == to) {
+      if (cb) cb(std::nullopt);
+      return;
+    }
+    if (const auto existing = connection_between(from, to)) {
+      if (cb) cb(existing);  // libp2p reuses the existing connection
+      return;
+    }
+    NodeRecord& target = nodes_.at(to);
+    if (target.nat) {
+      if (cb) cb(std::nullopt);  // no inbound through NAT (no hole punching)
+      return;
+    }
+    if (!target.host->accept_inbound(from)) {
+      if (cb) cb(std::nullopt);
+      return;
+    }
+    const ConnectionId conn = establish(from, to);
+    NodeRecord& dialer = nodes_.at(from);
+    dialer.host->on_connection(conn, to, /*outbound=*/true);
+    // The dialer's callback may have closed the connection synchronously;
+    // only notify the acceptor if it still exists.
+    if (connections_.count(conn) != 0) {
+      target.host->on_connection(conn, from, /*outbound=*/false);
+    }
+    if (cb) cb(connections_.count(conn) != 0 ? std::optional(conn)
+                                             : std::nullopt);
+  });
+}
+
+void Network::close(ConnectionId conn) {
+  const auto it = connections_.find(conn);
+  if (it == connections_.end()) return;
+  const crypto::PeerId a = it->second.a;
+  const crypto::PeerId b = it->second.b;
+  connections_.erase(it);
+  adjacency_[a].erase(b);
+  adjacency_[b].erase(a);
+  if (const NodeRecord* ra = record(a); ra != nullptr && ra->host != nullptr) {
+    ra->host->on_disconnect(conn, b);
+  }
+  if (const NodeRecord* rb = record(b); rb != nullptr && rb->host != nullptr) {
+    rb->host->on_disconnect(conn, a);
+  }
+}
+
+void Network::close_all_of(const crypto::PeerId& id) {
+  const auto it = adjacency_.find(id);
+  if (it == adjacency_.end()) return;
+  std::vector<ConnectionId> to_close;
+  to_close.reserve(it->second.size());
+  for (const auto& [peer, conn] : it->second) to_close.push_back(conn);
+  for (const ConnectionId conn : to_close) close(conn);
+}
+
+void Network::send(ConnectionId conn, const crypto::PeerId& sender,
+                   PayloadPtr payload) {
+  const auto it = connections_.find(conn);
+  if (it == connections_.end()) return;  // raced with close: drop
+  Connection& c = it->second;
+  const bool a_to_b = (sender == c.a);
+  if (!a_to_b && sender != c.b) return;  // not a party to this connection
+  const crypto::PeerId receiver = a_to_b ? c.b : c.a;
+
+  util::SimTime deliver_at = scheduler_.now() + sample_latency(sender, receiver);
+  // Enforce in-order delivery per direction (reliable stream semantics).
+  util::SimTime& fifo = a_to_b ? c.next_delivery_a_to_b : c.next_delivery_b_to_a;
+  if (deliver_at < fifo) deliver_at = fifo;
+  fifo = deliver_at;
+
+  scheduler_.schedule_at(
+      deliver_at, [this, conn, sender, receiver, payload = std::move(payload)]() {
+        // Drop if the connection died or the receiver churned in flight.
+        if (connections_.count(conn) == 0) return;
+        const NodeRecord* r = record(receiver);
+        if (r == nullptr || !r->online) return;
+        ++messages_delivered_;
+        r->host->on_message(conn, sender, payload);
+      });
+}
+
+std::optional<ConnectionId> Network::connection_between(
+    const crypto::PeerId& a, const crypto::PeerId& b) const {
+  const auto it = adjacency_.find(a);
+  if (it == adjacency_.end()) return std::nullopt;
+  const auto jt = it->second.find(b);
+  if (jt == it->second.end()) return std::nullopt;
+  return jt->second;
+}
+
+std::vector<crypto::PeerId> Network::connected_peers(
+    const crypto::PeerId& id) const {
+  std::vector<crypto::PeerId> peers;
+  const auto it = adjacency_.find(id);
+  if (it == adjacency_.end()) return peers;
+  peers.reserve(it->second.size());
+  for (const auto& [peer, conn] : it->second) peers.push_back(peer);
+  return peers;
+}
+
+std::size_t Network::connection_count(const crypto::PeerId& id) const {
+  const auto it = adjacency_.find(id);
+  return it == adjacency_.end() ? 0 : it->second.size();
+}
+
+std::optional<crypto::PeerId> Network::remote_peer(
+    ConnectionId conn, const crypto::PeerId& self) const {
+  const auto it = connections_.find(conn);
+  if (it == connections_.end()) return std::nullopt;
+  if (it->second.a == self) return it->second.b;
+  if (it->second.b == self) return it->second.a;
+  return std::nullopt;
+}
+
+std::optional<util::SimTime> Network::connection_established_at(
+    ConnectionId conn) const {
+  const auto it = connections_.find(conn);
+  if (it == connections_.end()) return std::nullopt;
+  return it->second.established;
+}
+
+std::vector<crypto::PeerId> Network::online_nodes() const {
+  std::vector<crypto::PeerId> out;
+  for (const auto& [id, rec] : nodes_) {
+    if (rec.online) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace ipfsmon::net

@@ -1,0 +1,173 @@
+// The simulated libp2p-style overlay transport. Nodes register a Host
+// callback interface; the Network mediates dialing (with NAT semantics),
+// per-pair single connections, latency-delayed FIFO message delivery, and
+// connection teardown on churn. This is the substrate on which the DHT,
+// Bitswap, and the passive monitors run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/keys.hpp"
+#include "net/address.hpp"
+#include "net/geo.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace ipfsmon::net {
+
+/// Base class for protocol messages carried over connections. Protocol
+/// libraries (dht, bitswap) subclass this; receivers downcast via
+/// dynamic_cast, mirroring libp2p's per-protocol stream demultiplexing.
+struct Payload {
+  virtual ~Payload() = default;
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+using ConnectionId = std::uint64_t;
+constexpr ConnectionId kInvalidConnection = 0;
+
+/// Callback interface a node installs to participate in the overlay.
+class Host {
+ public:
+  virtual ~Host() = default;
+
+  /// Inbound dial arrived: return true to accept. Monitors always accept
+  /// ("infinite connection capacity"); regular nodes enforce limits here.
+  virtual bool accept_inbound(const crypto::PeerId& from) = 0;
+
+  /// A connection (either direction) is now established.
+  virtual void on_connection(ConnectionId conn, const crypto::PeerId& peer,
+                             bool outbound) = 0;
+
+  /// The connection was closed (peer action, local close, or churn).
+  virtual void on_disconnect(ConnectionId conn, const crypto::PeerId& peer) = 0;
+
+  /// A protocol message arrived on an established connection.
+  virtual void on_message(ConnectionId conn, const crypto::PeerId& from,
+                          const PayloadPtr& payload) = 0;
+};
+
+struct NodeRecord {
+  crypto::PeerId id;
+  Address address;
+  std::string country;
+  bool nat = false;     // NAT'd nodes cannot accept inbound dials
+  bool online = false;
+  Host* host = nullptr;
+  double discovery_weight = 1.0;
+};
+
+class Network {
+ public:
+  Network(sim::Scheduler& scheduler, GeoDatabase geo, std::uint64_t seed);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  sim::Scheduler& scheduler() { return scheduler_; }
+  GeoDatabase& geo() { return geo_; }
+  const GeoDatabase& geo() const { return geo_; }
+
+  /// Registers a node (initially offline). `discovery_weight` biases
+  /// ambient-discovery sampling: long-lived, well-connected nodes occupy
+  /// many k-buckets and are surfaced by peer discovery far more often than
+  /// ephemeral ones; weights > 1 model such hubs (monitors, gateways,
+  /// bootstrap nodes).
+  void register_node(const crypto::PeerId& id, const Address& addr,
+                     const std::string& country, bool nat, Host* host,
+                     double discovery_weight = 1.0);
+
+  /// Brings a node online / takes it offline. Going offline closes all of
+  /// its connections (both sides are notified).
+  void set_online(const crypto::PeerId& id, bool online);
+
+  bool is_online(const crypto::PeerId& id) const;
+  const NodeRecord* record(const crypto::PeerId& id) const;
+
+  /// Asynchronously dials `to`. The callback receives the connection id on
+  /// success (which may be a pre-existing connection — libp2p keeps at most
+  /// one connection per peer pair) or nullopt on failure (offline target,
+  /// NAT, or rejection).
+  void dial(const crypto::PeerId& from, const crypto::PeerId& to,
+            std::function<void(std::optional<ConnectionId>)> on_result);
+
+  /// Closes a connection; both hosts get on_disconnect. No-op if already
+  /// closed.
+  void close(ConnectionId conn);
+
+  /// Sends a payload from `sender` over `conn`. Delivery is scheduled after
+  /// a sampled one-way latency, FIFO per direction. Dropped silently if the
+  /// connection closes before delivery (TCP reset semantics).
+  void send(ConnectionId conn, const crypto::PeerId& sender,
+            PayloadPtr payload);
+
+  std::optional<ConnectionId> connection_between(
+      const crypto::PeerId& a, const crypto::PeerId& b) const;
+
+  std::vector<crypto::PeerId> connected_peers(const crypto::PeerId& id) const;
+  std::size_t connection_count(const crypto::PeerId& id) const;
+
+  /// The remote peer of `conn` as seen from `self`.
+  std::optional<crypto::PeerId> remote_peer(ConnectionId conn,
+                                            const crypto::PeerId& self) const;
+
+  /// When the connection was established (nullopt if closed/unknown).
+  std::optional<util::SimTime> connection_established_at(
+      ConnectionId conn) const;
+
+  std::uint64_t messages_delivered() const { return messages_delivered_; }
+  std::size_t open_connections() const { return connections_.size(); }
+
+  /// All currently-online node ids (handy for tests and bootstrap lists).
+  std::vector<crypto::PeerId> online_nodes() const;
+
+  /// Samples a uniformly random online, publicly reachable (non-NAT) node.
+  /// This backs the simulator's "ambient discovery" abstraction — the
+  /// union of libp2p's peer-discovery mechanisms (DHT random walks,
+  /// rendezvous, peer exchange) collapsed into one sampling primitive.
+  std::optional<crypto::PeerId> sample_online_public(util::RngStream& rng) const;
+
+ private:
+  struct Connection {
+    crypto::PeerId a, b;
+    util::SimTime established = 0;
+    // FIFO clamps: earliest allowed delivery time per direction.
+    util::SimTime next_delivery_a_to_b = 0;
+    util::SimTime next_delivery_b_to_a = 0;
+  };
+
+  util::SimDuration sample_latency(const crypto::PeerId& a,
+                                   const crypto::PeerId& b);
+  ConnectionId establish(const crypto::PeerId& from, const crypto::PeerId& to);
+  void close_all_of(const crypto::PeerId& id);
+
+  sim::Scheduler& scheduler_;
+  GeoDatabase geo_;
+  util::RngStream rng_;
+
+  std::unordered_map<crypto::PeerId, NodeRecord> nodes_;
+  std::unordered_map<ConnectionId, Connection> connections_;
+  // Per-node adjacency: peer -> connection id.
+  std::unordered_map<crypto::PeerId,
+                     std::unordered_map<crypto::PeerId, ConnectionId>>
+      adjacency_;
+  ConnectionId next_connection_id_ = 1;
+  std::uint64_t messages_delivered_ = 0;
+
+  // Online non-NAT nodes, kept as dense vectors for O(1) sampling. Nodes
+  // with discovery_weight ≤ 1 live in the regular tier (sampled uniformly);
+  // heavier nodes live in the hub tier (sampled by weight — the tier is
+  // small, a linear scan is fine).
+  std::vector<crypto::PeerId> online_public_;
+  std::unordered_map<crypto::PeerId, std::size_t> online_public_index_;
+  std::vector<std::pair<crypto::PeerId, double>> online_hubs_;
+  double online_hub_weight_ = 0.0;
+};
+
+}  // namespace ipfsmon::net

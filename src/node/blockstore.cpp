@@ -1,0 +1,79 @@
+#include "node/blockstore.hpp"
+
+namespace ipfsmon::node {
+
+Blockstore::Blockstore(std::size_t capacity_bytes)
+    : capacity_(capacity_bytes) {}
+
+bool Blockstore::put(dag::BlockPtr block) {
+  if (block == nullptr) return false;
+  const cid::Cid& cid = block->id();
+  const auto it = entries_.find(cid);
+  if (it != entries_.end()) {
+    // Refresh recency only.
+    lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+    return true;
+  }
+  const std::size_t incoming = block->size();
+  if (capacity_ != 0 && incoming > capacity_) return false;
+  evict_until_fits(incoming);
+  lru_.push_front(cid);
+  entries_[cid] = Entry{std::move(block), lru_.begin()};
+  size_bytes_ += incoming;
+  return true;
+}
+
+void Blockstore::evict_until_fits(std::size_t incoming) {
+  if (capacity_ == 0) return;
+  // Walk from the LRU end, skipping pinned blocks.
+  auto it = lru_.end();
+  while (size_bytes_ + incoming > capacity_ && it != lru_.begin()) {
+    --it;
+    if (pins_.count(*it) != 0) continue;
+    const auto eit = entries_.find(*it);
+    size_bytes_ -= eit->second.block->size();
+    ++evictions_;
+    entries_.erase(eit);
+    it = lru_.erase(it);
+  }
+}
+
+dag::BlockPtr Blockstore::get(const cid::Cid& cid) {
+  const auto it = entries_.find(cid);
+  if (it == entries_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+  return it->second.block;
+}
+
+bool Blockstore::has(const cid::Cid& cid) const {
+  return entries_.count(cid) != 0;
+}
+
+void Blockstore::pin(const cid::Cid& cid) { pins_.insert(cid); }
+
+void Blockstore::unpin(const cid::Cid& cid) { pins_.erase(cid); }
+
+bool Blockstore::is_pinned(const cid::Cid& cid) const {
+  return pins_.count(cid) != 0;
+}
+
+void Blockstore::remove(const cid::Cid& cid) {
+  const auto it = entries_.find(cid);
+  if (it == entries_.end()) return;
+  size_bytes_ -= it->second.block->size();
+  lru_.erase(it->second.lru_position);
+  entries_.erase(it);
+}
+
+std::vector<cid::Cid> Blockstore::pinned_cids() const {
+  return {pins_.begin(), pins_.end()};
+}
+
+std::vector<cid::Cid> Blockstore::all_cids() const {
+  std::vector<cid::Cid> out;
+  out.reserve(entries_.size());
+  for (const auto& [cid, entry] : entries_) out.push_back(cid);
+  return out;
+}
+
+}  // namespace ipfsmon::node

@@ -1,0 +1,56 @@
+#include "node/gateway.hpp"
+
+namespace ipfsmon::node {
+
+namespace {
+NodeConfig gateway_node_config(NodeConfig config) {
+  // Gateways are publicly reachable, well-connected DHT servers.
+  config.nat = false;
+  config.dht_server = true;
+  return config;
+}
+}  // namespace
+
+GatewayNode::GatewayNode(net::Network& network, crypto::KeyPair keys,
+                         const net::Address& address,
+                         const std::string& country, NodeConfig node_config,
+                         GatewayConfig gateway_config, util::RngStream rng)
+    : node_(network, std::move(keys), address, country,
+            gateway_node_config(node_config), std::move(rng)),
+      config_(gateway_config) {}
+
+void GatewayNode::handle_http_request(const cid::Cid& cid,
+                                      HttpCallback on_done) {
+  ++http_requests_;
+  const util::SimTime now = node_.network().scheduler().now();
+
+  if (node_.blockstore().has(cid)) {
+    const auto it = fresh_until_.find(cid);
+    if (it != fresh_until_.end() && it->second > now) {
+      ++cache_hits_;
+      if (on_done) on_done(true, true);
+      return;
+    }
+    // Stale: serve from cache but revalidate over Bitswap. The
+    // revalidation bypasses the blockstore shortcut on purpose — it is the
+    // network request the paper's monitors still observe for cached CIDs.
+    ++cache_hits_;
+    ++bitswap_fetches_;
+    fresh_until_[cid] = now + config_.cache_ttl;
+    node_.client().fetch(cid, bitswap::kNoSession, nullptr);
+    if (on_done) on_done(true, true);
+    return;
+  }
+
+  ++bitswap_fetches_;
+  node_.fetch(cid, [this, cid, on_done = std::move(on_done)](
+                       dag::BlockPtr block) {
+    if (block != nullptr) {
+      fresh_until_[cid] =
+          node_.network().scheduler().now() + config_.cache_ttl;
+    }
+    if (on_done) on_done(block != nullptr, false);
+  });
+}
+
+}  // namespace ipfsmon::node

@@ -1,0 +1,90 @@
+// The synthetic content catalog: the population of data items that nodes
+// and gateway users request. Item codecs follow a configurable mix (tuned
+// to the paper's Table I request shares), popularity weights follow a
+// log-normal (heavy-skewed but NOT power-law — the paper rejects the
+// power-law hypothesis for its measured popularity, Sec. V-E), and a small
+// share of items is unresolvable (no provider) — the paper observes that
+// popular-by-RRP CIDs are often unresolvable because stalled fetches
+// re-broadcast forever.
+#pragma once
+
+#include <vector>
+
+#include "cid/multicodec.hpp"
+#include "dag/builder.hpp"
+#include "util/rng.hpp"
+
+namespace ipfsmon::scenario {
+
+struct CatalogItem {
+  cid::Cid root;
+  cid::Multicodec codec = cid::Multicodec::Raw;
+  std::vector<dag::BlockPtr> blocks;  // all blocks (root included)
+  bool resolvable = true;             // false ⇒ never given to providers
+  bool is_dag = false;                // multi-block file (fetched via session)
+  double weight = 1.0;                // request-popularity weight
+};
+
+struct CodecShare {
+  cid::Multicodec codec;
+  double weight;
+};
+
+/// Codec mix approximating Table I (share of requests by multicodec).
+std::vector<CodecShare> table1_codec_mix();
+
+struct CatalogConfig {
+  std::size_t item_count = 4000;
+  /// Share of items without any provider (requests for them stall and
+  /// re-broadcast until the fetch deadline).
+  double unresolvable_share = 0.11;
+  /// Share of DagProtobuf items built as real multi-block file DAGs.
+  double dag_share = 0.10;
+  std::size_t dag_chunks = 4;
+  std::size_t block_size = 256;  // bytes of payload per block
+  /// Log-normal popularity-weight parameters. The large sigma produces the
+  /// paper's shape: a vast majority of CIDs requested by a single peer,
+  /// a few heavily requested ones, and no power-law tail.
+  double lognormal_mu = 0.0;
+  double lognormal_sigma = 2.4;
+  std::vector<CodecShare> codec_mix = table1_codec_mix();
+};
+
+class ContentCatalog {
+ public:
+  ContentCatalog(const CatalogConfig& config, util::RngStream rng);
+
+  const std::vector<CatalogItem>& items() const { return items_; }
+  std::size_t size() const { return items_.size(); }
+
+  /// Samples an item index by popularity weight.
+  std::size_t sample_index(util::RngStream& rng) const;
+  const CatalogItem& sample(util::RngStream& rng) const {
+    return items_[sample_index(rng)];
+  }
+
+  /// Head-biased sampling (tournament selection over `bias` weighted
+  /// draws): models gateway HTTP users, whose interest concentrates on
+  /// popular web content far more than node operators' — the reason
+  /// Cloudflare can report a 97% cache-hit ratio.
+  const CatalogItem& sample_popular(util::RngStream& rng,
+                                    std::size_t bias = 4) const;
+
+  /// Creates a fresh single-block "one-off" item — unique content that
+  /// only one user will ever request (personal files, fresh uploads). The
+  /// bulk of real-world CIDs behave this way: the paper observes >80% of
+  /// CIDs requested by exactly one peer. The caller decides whether (and
+  /// where) to host the blocks.
+  CatalogItem create_oneoff(util::RngStream& rng) const;
+
+  std::size_t resolvable_count() const { return resolvable_count_; }
+
+ private:
+  CatalogConfig config_;
+  std::vector<double> codec_weights_;
+  std::vector<CatalogItem> items_;
+  std::vector<double> cumulative_weight_;
+  std::size_t resolvable_count_ = 0;
+};
+
+}  // namespace ipfsmon::scenario

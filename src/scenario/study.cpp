@@ -1,0 +1,110 @@
+#include "scenario/study.hpp"
+
+namespace ipfsmon::scenario {
+
+MonitoringStudy::MonitoringStudy(StudyConfig config)
+    : config_(std::move(config)), rng_(config_.seed, "study") {
+  network_ = std::make_unique<net::Network>(
+      scheduler_, net::GeoDatabase::standard(), config_.seed);
+  catalog_ = std::make_unique<ContentCatalog>(config_.catalog,
+                                              rng_.fork("catalog"));
+  population_ = std::make_unique<Population>(*network_, *catalog_,
+                                             config_.population,
+                                             rng_.fork("population"));
+  if (config_.enable_gateways) {
+    fleet_ = std::make_unique<GatewayFleet>(*network_, *catalog_,
+                                            config_.gateways,
+                                            rng_.fork("gateways"));
+    fleet_->set_oneoff_host([this](const CatalogItem& item) {
+      population_->host_item(item);
+    });
+  }
+
+  util::RngStream key_rng = rng_.fork("monitor-keys");
+  for (std::size_t i = 0; i < config_.monitor_count; ++i) {
+    const std::string country =
+        i < config_.monitor_countries.size() ? config_.monitor_countries[i]
+                                             : network_->geo().sample_country(rng_);
+    const net::Address address = network_->geo().allocate_address(country);
+    crypto::KeyPair keys = crypto::KeyPair::generate(key_rng);
+
+    monitor::MonitorConfig mon_config;
+    mon_config.monitor_id = static_cast<trace::MonitorId>(i);
+    mon_config.snapshot_interval = config_.snapshot_interval;
+    mon_config.node = config_.population.node;
+    mon_config.node.discovery_weight = config_.monitor_discovery_weight;
+    if (config_.use_active_monitors) {
+      monitor::ActiveMonitorConfig active_config;
+      active_config.base = mon_config;
+      active_config.sweep_interval = config_.active_sweep_interval;
+      monitors_.push_back(std::make_unique<monitor::ActiveMonitor>(
+          *network_, std::move(keys), address, country, active_config,
+          rng_.fork(i + 1000)));
+    } else {
+      monitors_.push_back(std::make_unique<monitor::PassiveMonitor>(
+          *network_, std::move(keys), address, country, mon_config,
+          rng_.fork(i + 1000)));
+    }
+  }
+}
+
+MonitoringStudy::~MonitoringStudy() = default;
+
+void MonitoringStudy::run_warmup() {
+  population_->start();
+  const auto& bootstrap = population_->bootstrap_ids();
+  if (fleet_) fleet_->start(bootstrap);
+  for (auto& m : monitors_) {
+    m->go_online(bootstrap);
+    if (config_.use_active_monitors) {
+      static_cast<monitor::ActiveMonitor*>(m.get())->start_sweeps();
+    }
+  }
+
+  scheduler_.run_until(scheduler_.now() + config_.warmup);
+
+  for (auto& m : monitors_) {
+    m->reset_observations();
+    m->start_snapshots();
+  }
+}
+
+void MonitoringStudy::run_measurement(util::SimDuration duration) {
+  scheduler_.run_until(scheduler_.now() + duration);
+}
+
+std::vector<monitor::PassiveMonitor*> MonitoringStudy::monitors() {
+  std::vector<monitor::PassiveMonitor*> out;
+  out.reserve(monitors_.size());
+  for (auto& m : monitors_) out.push_back(m.get());
+  return out;
+}
+
+trace::Trace MonitoringStudy::unified_trace(
+    const trace::PreprocessOptions& options) const {
+  std::vector<const trace::Trace*> traces;
+  traces.reserve(monitors_.size());
+  for (const auto& m : monitors_) traces.push_back(&m->recorded());
+  return trace::unify(traces, options);
+}
+
+std::vector<std::vector<std::vector<crypto::PeerId>>>
+MonitoringStudy::matched_snapshots() const {
+  std::size_t count = std::numeric_limits<std::size_t>::max();
+  for (const auto& m : monitors_) {
+    count = std::min(count, m->snapshots().size());
+  }
+  if (count == std::numeric_limits<std::size_t>::max()) count = 0;
+
+  std::vector<std::vector<std::vector<crypto::PeerId>>> out;
+  out.reserve(count);
+  for (std::size_t t = 0; t < count; ++t) {
+    std::vector<std::vector<crypto::PeerId>> row;
+    row.reserve(monitors_.size());
+    for (const auto& m : monitors_) row.push_back(m->snapshots()[t].peers);
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace ipfsmon::scenario

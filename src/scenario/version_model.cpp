@@ -1,0 +1,13 @@
+#include "scenario/version_model.hpp"
+
+#include <cmath>
+
+namespace ipfsmon::scenario {
+
+double VersionAdoptionModel::upgraded_share(util::SimTime t) const {
+  const double x = util::to_days(t - midpoint) / steepness_days;
+  const double logistic = 1.0 / (1.0 + std::exp(-x));
+  return initial_share + (final_share - initial_share) * logistic;
+}
+
+}  // namespace ipfsmon::scenario

@@ -1,0 +1,25 @@
+// Client-version adoption (paper Fig. 4): IPFS v0.5 introduced WANT_HAVE;
+// over mid-2020 the population migrated from WANT_BLOCK-only legacy
+// clients. We model the upgraded share as a logistic curve over simulated
+// time; nodes upgrade when they churn back online ("willingness of users to
+// upgrade their clients").
+#pragma once
+
+#include "util/time.hpp"
+
+namespace ipfsmon::scenario {
+
+struct VersionAdoptionModel {
+  /// Time at which half the population has upgraded.
+  util::SimTime midpoint = 30 * util::kDay;
+  /// Steepness: days for the curve to move most of the way.
+  double steepness_days = 10.0;
+  /// Floor/ceiling of the upgraded share.
+  double initial_share = 0.02;
+  double final_share = 0.98;
+
+  /// Share of clients expected to run v0.5+ at time `t`.
+  double upgraded_share(util::SimTime t) const;
+};
+
+}  // namespace ipfsmon::scenario

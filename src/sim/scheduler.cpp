@@ -1,0 +1,51 @@
+#include "sim/scheduler.hpp"
+
+namespace ipfsmon::sim {
+
+void EventHandle::cancel() {
+  if (state_) state_->cancelled = true;
+}
+
+bool EventHandle::pending() const {
+  return state_ && !state_->cancelled && !state_->fired;
+}
+
+EventHandle Scheduler::schedule_at(util::SimTime when, EventFn fn) {
+  if (when < now_) when = now_;
+  auto state = std::make_shared<EventHandle::State>();
+  queue_.push(Entry{when, next_seq_++, std::move(fn), state});
+  return EventHandle(std::move(state));
+}
+
+EventHandle Scheduler::schedule_after(util::SimDuration delay, EventFn fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Scheduler::run_until(util::SimTime deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    // priority_queue::top() is const; move out via const_cast, which is
+    // safe because pop() follows immediately.
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    now_ = entry.when;
+    if (entry.state->cancelled) continue;
+    entry.state->fired = true;
+    ++dispatched_;
+    entry.fn();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Scheduler::run_all() {
+  while (!queue_.empty()) {
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    now_ = entry.when;
+    if (entry.state->cancelled) continue;
+    entry.state->fired = true;
+    ++dispatched_;
+    entry.fn();
+  }
+}
+
+}  // namespace ipfsmon::sim

@@ -1,0 +1,342 @@
+#include "trace/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/strings.hpp"
+#include "util/varint.hpp"
+
+namespace ipfsmon::trace {
+
+namespace {
+constexpr char kCsvHeader[] = "timestamp_ns,peer,address,type,cid,monitor,flags";
+constexpr std::uint32_t kBinaryMagic = 0x49504d54;  // "IPMT"
+
+std::optional<bitswap::WantType> type_from_name(std::string_view name) {
+  if (name == "WANT_HAVE") return bitswap::WantType::WantHave;
+  if (name == "WANT_BLOCK") return bitswap::WantType::WantBlock;
+  if (name == "CANCEL") return bitswap::WantType::Cancel;
+  return std::nullopt;
+}
+}  // namespace
+
+void write_csv(std::ostream& out, const Trace& trace) {
+  out << kCsvHeader << '\n';
+  for (const auto& e : trace.entries()) {
+    out << e.timestamp << ',' << e.peer.to_base58() << ','
+        << e.address.to_string() << ','
+        << bitswap::want_type_name(e.type) << ',' << e.cid.to_string() << ','
+        << e.monitor << ',' << e.flags << '\n';
+  }
+}
+
+std::optional<Trace> read_csv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kCsvHeader) return std::nullopt;
+  Trace trace;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto fields = util::split(line, ',');
+    if (fields.size() != 7) return std::nullopt;
+    TraceEntry entry;
+    try {
+      entry.timestamp = std::stoll(fields[0]);
+      entry.monitor = static_cast<MonitorId>(std::stoul(fields[5]));
+      entry.flags = static_cast<std::uint32_t>(std::stoul(fields[6]));
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+    const auto peer = crypto::PeerId::from_base58(fields[1]);
+    const auto address = net::Address::from_string(fields[2]);
+    const auto type = type_from_name(fields[3]);
+    const auto cid = cid::Cid::from_string(fields[4]);
+    if (!peer || !address || !type || !cid) return std::nullopt;
+    entry.peer = *peer;
+    entry.address = *address;
+    entry.type = *type;
+    entry.cid = *cid;
+    trace.append(std::move(entry));
+  }
+  return trace;
+}
+
+void write_binary(std::ostream& out, const Trace& trace) {
+  util::Bytes buffer;
+  util::varint_append(buffer, kBinaryMagic);
+  util::varint_append(buffer, trace.size());
+  for (const auto& e : trace.entries()) {
+    util::varint_append(buffer, static_cast<std::uint64_t>(e.timestamp));
+    buffer.insert(buffer.end(), e.peer.digest().begin(), e.peer.digest().end());
+    util::varint_append(buffer, e.address.ip);
+    util::varint_append(buffer, e.address.port);
+    util::varint_append(buffer, static_cast<std::uint64_t>(e.type));
+    const util::Bytes cid_bytes = e.cid.encode();
+    util::varint_append(buffer, cid_bytes.size());
+    buffer.insert(buffer.end(), cid_bytes.begin(), cid_bytes.end());
+    util::varint_append(buffer, e.monitor);
+    util::varint_append(buffer, e.flags);
+  }
+  out.write(reinterpret_cast<const char*>(buffer.data()),
+            static_cast<std::streamsize>(buffer.size()));
+}
+
+std::optional<Trace> read_binary(std::istream& in) {
+  std::ostringstream collected;
+  collected << in.rdbuf();
+  const std::string data = collected.str();
+  util::BytesView view(reinterpret_cast<const std::uint8_t*>(data.data()),
+                       data.size());
+  std::size_t pos = 0;
+  auto read_varint = [&]() -> std::optional<std::uint64_t> {
+    const auto v = util::varint_decode(view.subspan(pos));
+    if (!v) return std::nullopt;
+    pos += v->consumed;
+    return v->value;
+  };
+
+  const auto magic = read_varint();
+  if (!magic || *magic != kBinaryMagic) return std::nullopt;
+  const auto count = read_varint();
+  if (!count) return std::nullopt;
+
+  Trace trace;
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    TraceEntry entry;
+    const auto ts = read_varint();
+    if (!ts) return std::nullopt;
+    entry.timestamp = static_cast<util::SimTime>(*ts);
+    if (pos + 32 > view.size()) return std::nullopt;
+    crypto::PeerId::Digest digest;
+    std::copy(view.begin() + static_cast<std::ptrdiff_t>(pos),
+              view.begin() + static_cast<std::ptrdiff_t>(pos + 32),
+              digest.begin());
+    entry.peer = crypto::PeerId(digest);
+    pos += 32;
+    const auto ip = read_varint();
+    const auto port = read_varint();
+    const auto type = read_varint();
+    if (!ip || !port || !type || *type > 2) return std::nullopt;
+    entry.address = net::Address{static_cast<std::uint32_t>(*ip),
+                                 static_cast<std::uint16_t>(*port)};
+    entry.type = static_cast<bitswap::WantType>(*type);
+    const auto cid_len = read_varint();
+    if (!cid_len || pos + *cid_len > view.size()) return std::nullopt;
+    const auto cid = cid::Cid::decode(view.subspan(pos, *cid_len));
+    if (!cid) return std::nullopt;
+    entry.cid = *cid;
+    pos += *cid_len;
+    const auto monitor = read_varint();
+    const auto flags = read_varint();
+    if (!monitor || !flags) return std::nullopt;
+    entry.monitor = static_cast<MonitorId>(*monitor);
+    entry.flags = static_cast<std::uint32_t>(*flags);
+    trace.append(std::move(entry));
+  }
+  return trace;
+}
+
+namespace {
+constexpr std::uint32_t kCompactMagic = 0x49504d32;  // "IPM2"
+
+std::uint64_t zigzag_encode(std::int64_t value) {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+
+std::int64_t zigzag_decode(std::uint64_t value) {
+  return static_cast<std::int64_t>(value >> 1) ^
+         -static_cast<std::int64_t>(value & 1);
+}
+}  // namespace
+
+void write_binary_compact(std::ostream& out, const Trace& trace) {
+  // Intern peers, addresses and CIDs in order of first appearance.
+  std::unordered_map<crypto::PeerId, std::uint64_t> peer_index;
+  std::vector<const crypto::PeerId*> peers;
+  std::unordered_map<net::Address, std::uint64_t> addr_index;
+  std::vector<net::Address> addrs;
+  std::unordered_map<cid::Cid, std::uint64_t> cid_index;
+  std::vector<const cid::Cid*> cids;
+  for (const auto& e : trace.entries()) {
+    if (peer_index.emplace(e.peer, peers.size()).second) {
+      peers.push_back(&e.peer);
+    }
+    if (addr_index.emplace(e.address, addrs.size()).second) {
+      addrs.push_back(e.address);
+    }
+    if (cid_index.emplace(e.cid, cids.size()).second) {
+      cids.push_back(&e.cid);
+    }
+  }
+
+  util::Bytes buffer;
+  util::varint_append(buffer, kCompactMagic);
+  util::varint_append(buffer, trace.size());
+
+  util::varint_append(buffer, peers.size());
+  for (const auto* peer : peers) {
+    buffer.insert(buffer.end(), peer->digest().begin(), peer->digest().end());
+  }
+  util::varint_append(buffer, addrs.size());
+  for (const auto& addr : addrs) {
+    util::varint_append(buffer, addr.ip);
+    util::varint_append(buffer, addr.port);
+  }
+  util::varint_append(buffer, cids.size());
+  for (const auto* c : cids) {
+    const util::Bytes encoded = c->encode();
+    util::varint_append(buffer, encoded.size());
+    buffer.insert(buffer.end(), encoded.begin(), encoded.end());
+  }
+
+  util::SimTime previous = 0;
+  for (const auto& e : trace.entries()) {
+    util::varint_append(buffer, zigzag_encode(e.timestamp - previous));
+    previous = e.timestamp;
+    util::varint_append(buffer, peer_index.at(e.peer));
+    util::varint_append(buffer, addr_index.at(e.address));
+    util::varint_append(buffer, cid_index.at(e.cid));
+    // type (2 bits) | monitor (shifted) fit one varint; flags another.
+    util::varint_append(buffer, static_cast<std::uint64_t>(e.type) |
+                                    (static_cast<std::uint64_t>(e.monitor) << 2));
+    util::varint_append(buffer, e.flags);
+  }
+  out.write(reinterpret_cast<const char*>(buffer.data()),
+            static_cast<std::streamsize>(buffer.size()));
+}
+
+std::optional<Trace> read_binary_compact(std::istream& in) {
+  std::ostringstream collected;
+  collected << in.rdbuf();
+  const std::string data = collected.str();
+  util::BytesView view(reinterpret_cast<const std::uint8_t*>(data.data()),
+                       data.size());
+  std::size_t pos = 0;
+  auto read_varint = [&]() -> std::optional<std::uint64_t> {
+    const auto v = util::varint_decode(view.subspan(pos));
+    if (!v) return std::nullopt;
+    pos += v->consumed;
+    return v->value;
+  };
+
+  const auto magic = read_varint();
+  if (!magic || *magic != kCompactMagic) return std::nullopt;
+  const auto count = read_varint();
+  if (!count) return std::nullopt;
+
+  const auto peer_count = read_varint();
+  if (!peer_count) return std::nullopt;
+  std::vector<crypto::PeerId> peers;
+  peers.reserve(*peer_count);
+  for (std::uint64_t i = 0; i < *peer_count; ++i) {
+    if (pos + 32 > view.size()) return std::nullopt;
+    crypto::PeerId::Digest digest;
+    std::copy(view.begin() + static_cast<std::ptrdiff_t>(pos),
+              view.begin() + static_cast<std::ptrdiff_t>(pos + 32),
+              digest.begin());
+    peers.emplace_back(digest);
+    pos += 32;
+  }
+
+  const auto addr_count = read_varint();
+  if (!addr_count) return std::nullopt;
+  std::vector<net::Address> addrs;
+  addrs.reserve(*addr_count);
+  for (std::uint64_t i = 0; i < *addr_count; ++i) {
+    const auto ip = read_varint();
+    const auto port = read_varint();
+    if (!ip || !port || *port > 65535) return std::nullopt;
+    addrs.push_back(net::Address{static_cast<std::uint32_t>(*ip),
+                                 static_cast<std::uint16_t>(*port)});
+  }
+
+  const auto cid_count = read_varint();
+  if (!cid_count) return std::nullopt;
+  std::vector<cid::Cid> cids;
+  cids.reserve(*cid_count);
+  for (std::uint64_t i = 0; i < *cid_count; ++i) {
+    const auto len = read_varint();
+    if (!len || pos + *len > view.size()) return std::nullopt;
+    const auto parsed = cid::Cid::decode(view.subspan(pos, *len));
+    if (!parsed) return std::nullopt;
+    cids.push_back(*parsed);
+    pos += *len;
+  }
+
+  Trace trace;
+  util::SimTime previous = 0;
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    const auto delta = read_varint();
+    const auto peer = read_varint();
+    const auto addr = read_varint();
+    const auto cid_ref = read_varint();
+    const auto type_monitor = read_varint();
+    const auto flags = read_varint();
+    if (!delta || !peer || !addr || !cid_ref || !type_monitor || !flags) {
+      return std::nullopt;
+    }
+    if (*peer >= peers.size() || *addr >= addrs.size() ||
+        *cid_ref >= cids.size() || (*type_monitor & 0x3) > 2) {
+      return std::nullopt;
+    }
+    TraceEntry e;
+    e.timestamp = previous + zigzag_decode(*delta);
+    previous = e.timestamp;
+    e.peer = peers[*peer];
+    e.address = addrs[*addr];
+    e.cid = cids[*cid_ref];
+    e.type = static_cast<bitswap::WantType>(*type_monitor & 0x3);
+    e.monitor = static_cast<MonitorId>(*type_monitor >> 2);
+    e.flags = static_cast<std::uint32_t>(*flags);
+    trace.append(std::move(e));
+  }
+  return trace;
+}
+
+bool save_binary_compact(const std::string& path, const Trace& trace) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  write_binary_compact(out, trace);
+  return static_cast<bool>(out);
+}
+
+std::optional<Trace> load_binary_compact(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  return read_binary_compact(in);
+}
+
+std::optional<Trace> load_any(const std::string& path) {
+  if (auto t = load_binary_compact(path)) return t;
+  if (auto t = load_binary(path)) return t;
+  return load_csv(path);
+}
+
+bool save_csv(const std::string& path, const Trace& trace) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_csv(out, trace);
+  return static_cast<bool>(out);
+}
+
+std::optional<Trace> load_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return read_csv(in);
+}
+
+bool save_binary(const std::string& path, const Trace& trace) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  write_binary(out, trace);
+  return static_cast<bool>(out);
+}
+
+std::optional<Trace> load_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  return read_binary(in);
+}
+
+}  // namespace ipfsmon::trace

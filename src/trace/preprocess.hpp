@@ -1,0 +1,37 @@
+// Trace unification and duplicate marking (paper Sec. IV-B):
+//
+//  * entries received by *different* monitors are considered the same
+//    broadcast if (peer, type, CID) match and timestamps differ ≤ 5 s
+//    → all but the earliest are flagged kInterMonitorDuplicate;
+//  * entries repeated at the *same* monitor for the same (peer, type, CID)
+//    within 31 s are Bitswap's 30 s re-broadcast loop
+//    → flagged kRebroadcast (>50% of raw entries in the paper's data).
+//
+// Both windows are configurable; the defaults match the paper.
+#pragma once
+
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace ipfsmon::trace {
+
+struct PreprocessOptions {
+  util::SimDuration inter_monitor_window = 5 * util::kSecond;
+  util::SimDuration rebroadcast_window = 31 * util::kSecond;
+};
+
+/// Merges per-monitor traces into one time-sorted trace and marks
+/// duplicates and re-broadcasts in place.
+Trace unify(const std::vector<const Trace*>& monitor_traces,
+            const PreprocessOptions& options = {});
+
+/// Marks flags on an already-merged, time-sorted trace (exposed for tests
+/// and for re-flagging loaded traces).
+void mark_flags(Trace& unified, const PreprocessOptions& options = {});
+
+/// Fraction of request entries flagged as re-broadcasts (the paper reports
+/// > 50% for its raw traces).
+double rebroadcast_share(const Trace& unified);
+
+}  // namespace ipfsmon::trace

@@ -1,0 +1,42 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ipfsmon::trace {
+
+void Trace::sort_by_time() {
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const TraceEntry& a, const TraceEntry& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+}
+
+void Trace::merge_from(const Trace& other) {
+  entries_.insert(entries_.end(), other.entries_.begin(),
+                  other.entries_.end());
+}
+
+TraceStats compute_stats(const Trace& trace) {
+  TraceStats stats;
+  std::unordered_set<crypto::PeerId> peers;
+  std::unordered_set<cid::Cid> cids;
+  for (const auto& e : trace.entries()) {
+    ++stats.total;
+    if (e.is_request()) {
+      ++stats.requests;
+    } else {
+      ++stats.cancels;
+    }
+    if (e.is_duplicate()) ++stats.inter_monitor_duplicates;
+    if (e.is_rebroadcast()) ++stats.rebroadcasts;
+    if (e.is_clean()) ++stats.clean;
+    peers.insert(e.peer);
+    cids.insert(e.cid);
+  }
+  stats.unique_peers = peers.size();
+  stats.unique_cids = cids.size();
+  return stats;
+}
+
+}  // namespace ipfsmon::trace

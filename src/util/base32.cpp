@@ -1,0 +1,64 @@
+#include "util/base32.hpp"
+
+#include <array>
+
+namespace ipfsmon::util {
+
+namespace {
+constexpr std::string_view kAlphabet = "abcdefghijklmnopqrstuvwxyz234567";
+
+std::array<int, 256> build_reverse_table() {
+  std::array<int, 256> table{};
+  table.fill(-1);
+  for (std::size_t i = 0; i < kAlphabet.size(); ++i) {
+    table[static_cast<unsigned char>(kAlphabet[i])] = static_cast<int>(i);
+    table[static_cast<unsigned char>(
+        static_cast<char>(kAlphabet[i] - 'a' + 'A'))] = static_cast<int>(i);
+  }
+  // Digits are shared between cases already.
+  return table;
+}
+
+const std::array<int, 256> kReverse = build_reverse_table();
+}  // namespace
+
+std::string base32_encode(BytesView data) {
+  std::string out;
+  out.reserve((data.size() * 8 + 4) / 5);
+  std::uint32_t buffer = 0;
+  int bits = 0;
+  for (std::uint8_t b : data) {
+    buffer = (buffer << 8) | b;
+    bits += 8;
+    while (bits >= 5) {
+      bits -= 5;
+      out.push_back(kAlphabet[(buffer >> bits) & 0x1f]);
+    }
+  }
+  if (bits > 0) {
+    out.push_back(kAlphabet[(buffer << (5 - bits)) & 0x1f]);
+  }
+  return out;
+}
+
+std::optional<Bytes> base32_decode(std::string_view text) {
+  Bytes out;
+  out.reserve(text.size() * 5 / 8);
+  std::uint32_t buffer = 0;
+  int bits = 0;
+  for (char c : text) {
+    const int v = kReverse[static_cast<unsigned char>(c)];
+    if (v < 0) return std::nullopt;
+    buffer = (buffer << 5) | static_cast<std::uint32_t>(v);
+    bits += 5;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>((buffer >> bits) & 0xff));
+    }
+  }
+  // Remaining bits must be zero padding produced by the encoder.
+  if (bits > 0 && (buffer & ((1u << bits) - 1)) != 0) return std::nullopt;
+  return out;
+}
+
+}  // namespace ipfsmon::util

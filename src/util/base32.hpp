@@ -1,0 +1,18 @@
+// RFC 4648 base32 (lowercase, unpadded) as used by CIDv1 multibase 'b'.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace ipfsmon::util {
+
+/// Encodes bytes as lowercase unpadded base32.
+std::string base32_encode(BytesView data);
+
+/// Decodes lowercase (or uppercase) unpadded base32.
+std::optional<Bytes> base32_decode(std::string_view text);
+
+}  // namespace ipfsmon::util

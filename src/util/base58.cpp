@@ -1,0 +1,76 @@
+#include "util/base58.hpp"
+
+#include <array>
+
+namespace ipfsmon::util {
+
+namespace {
+constexpr std::string_view kAlphabet =
+    "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
+
+std::array<int, 256> build_reverse_table() {
+  std::array<int, 256> table{};
+  table.fill(-1);
+  for (std::size_t i = 0; i < kAlphabet.size(); ++i) {
+    table[static_cast<unsigned char>(kAlphabet[i])] = static_cast<int>(i);
+  }
+  return table;
+}
+
+const std::array<int, 256> kReverse = build_reverse_table();
+}  // namespace
+
+std::string base58_encode(BytesView data) {
+  std::size_t zeroes = 0;
+  while (zeroes < data.size() && data[zeroes] == 0) ++zeroes;
+
+  // Upper bound on output size: log(256)/log(58) ~ 1.365.
+  std::vector<std::uint8_t> b58(data.size() * 138 / 100 + 1, 0);
+  std::size_t length = 0;
+  for (std::size_t i = zeroes; i < data.size(); ++i) {
+    int carry = data[i];
+    std::size_t j = 0;
+    for (auto it = b58.rbegin(); (carry != 0 || j < length) && it != b58.rend();
+         ++it, ++j) {
+      carry += 256 * (*it);
+      *it = static_cast<std::uint8_t>(carry % 58);
+      carry /= 58;
+    }
+    length = j;
+  }
+
+  std::string out(zeroes, '1');
+  auto it = b58.begin() + static_cast<std::ptrdiff_t>(b58.size() - length);
+  // Skip any residual leading zeros in the work buffer.
+  while (it != b58.end() && *it == 0) ++it;
+  for (; it != b58.end(); ++it) out.push_back(kAlphabet[*it]);
+  return out;
+}
+
+std::optional<Bytes> base58_decode(std::string_view text) {
+  std::size_t zeroes = 0;
+  while (zeroes < text.size() && text[zeroes] == '1') ++zeroes;
+
+  Bytes b256(text.size() * 733 / 1000 + 1, 0);  // log(58)/log(256) ~ 0.733
+  std::size_t length = 0;
+  for (std::size_t i = zeroes; i < text.size(); ++i) {
+    int carry = kReverse[static_cast<unsigned char>(text[i])];
+    if (carry < 0) return std::nullopt;
+    std::size_t j = 0;
+    for (auto it = b256.rbegin();
+         (carry != 0 || j < length) && it != b256.rend(); ++it, ++j) {
+      carry += 58 * (*it);
+      *it = static_cast<std::uint8_t>(carry % 256);
+      carry /= 256;
+    }
+    length = j;
+  }
+
+  Bytes out(zeroes, 0);
+  auto it = b256.begin() + static_cast<std::ptrdiff_t>(b256.size() - length);
+  while (it != b256.end() && *it == 0) ++it;
+  out.insert(out.end(), it, b256.end());
+  return out;
+}
+
+}  // namespace ipfsmon::util

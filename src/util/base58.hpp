@@ -1,0 +1,19 @@
+// Base58btc (Bitcoin alphabet) encoding, used for CIDv0 and PeerId
+// string representations.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace ipfsmon::util {
+
+/// Encodes bytes in base58btc. Leading zero bytes map to leading '1's.
+std::string base58_encode(BytesView data);
+
+/// Decodes base58btc. Returns nullopt on characters outside the alphabet.
+std::optional<Bytes> base58_decode(std::string_view text);
+
+}  // namespace ipfsmon::util

@@ -1,0 +1,36 @@
+// Byte-buffer primitives shared by every module: the Bytes alias, hex
+// encoding/decoding, and comparison helpers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ipfsmon::util {
+
+/// The canonical owned byte buffer used across the library.
+using Bytes = std::vector<std::uint8_t>;
+
+/// A read-only view over bytes; preferred at API boundaries.
+using BytesView = std::span<const std::uint8_t>;
+
+/// Encodes `data` as lowercase hex ("deadbeef").
+std::string to_hex(BytesView data);
+
+/// Decodes a hex string (case-insensitive). Returns nullopt on malformed
+/// input (odd length or non-hex characters).
+std::optional<Bytes> from_hex(std::string_view hex);
+
+/// Builds a Bytes buffer from a string's raw characters.
+Bytes bytes_of(std::string_view s);
+
+/// Interprets bytes as a string (no validation).
+std::string string_of(BytesView data);
+
+/// Lexicographic comparison usable as a strict weak order.
+bool lex_less(BytesView a, BytesView b);
+
+}  // namespace ipfsmon::util

@@ -1,0 +1,92 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the simulator draws from a named RngStream
+// derived from a single scenario seed, so a whole experiment is exactly
+// reproducible from (seed, code version). The engine is xoshiro256**, seeded
+// through splitmix64 as recommended by its authors.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace ipfsmon::util {
+
+/// splitmix64 step; used for seeding and for hashing stream names.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** engine. Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// A named, seeded random stream with the distribution helpers the
+/// simulator needs. Cheap to copy; all state is inline.
+class RngStream {
+ public:
+  /// Derives a stream from a root seed and a stable name, so adding new
+  /// streams never perturbs existing ones.
+  RngStream(std::uint64_t root_seed, std::string_view name);
+
+  explicit RngStream(std::uint64_t raw_seed);
+
+  /// Creates an independent child stream (e.g. one per simulated node).
+  RngStream fork(std::string_view name);
+  RngStream fork(std::uint64_t index);
+
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n) using rejection sampling (unbiased).
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  bool bernoulli(double p);
+
+  /// Exponential with the given mean (= 1/rate).
+  double exponential(double mean);
+
+  double normal(double mean, double stddev);
+
+  double lognormal(double mu, double sigma);
+
+  /// Pareto (power-law tail) with minimum xm and shape alpha.
+  double pareto(double xm, double alpha);
+
+  /// Discrete Zipf sample in [1, n] with exponent s, via inverse-CDF on a
+  /// precomputed table is avoided; uses rejection-inversion (Hörmann).
+  std::uint64_t zipf(std::uint64_t n, double s);
+
+  /// Samples an index from unnormalized weights.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fills `out` with random bytes.
+  void fill_bytes(std::uint8_t* out, std::size_t n);
+
+  Xoshiro256& engine() { return engine_; }
+
+ private:
+  Xoshiro256 engine_;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace ipfsmon::util

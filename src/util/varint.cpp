@@ -1,0 +1,34 @@
+#include "util/varint.hpp"
+
+namespace ipfsmon::util {
+
+void varint_append(Bytes& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+Bytes varint_encode(std::uint64_t value) {
+  Bytes out;
+  varint_append(out, value);
+  return out;
+}
+
+std::optional<VarintDecode> varint_decode(BytesView data) {
+  std::uint64_t value = 0;
+  std::size_t shift = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i >= 9) return std::nullopt;  // spec caps practical varints at 9 bytes
+    const std::uint8_t byte = data[i];
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      return VarintDecode{value, i + 1};
+    }
+    shift += 7;
+  }
+  return std::nullopt;  // truncated
+}
+
+}  // namespace ipfsmon::util

@@ -1,0 +1,181 @@
+// Multicodec registry, multihash encoding, and CID v0/v1 behaviour.
+#include <gtest/gtest.h>
+
+#include "cid/cid.hpp"
+#include "cid/multicodec.hpp"
+#include "cid/multihash.hpp"
+#include "util/rng.hpp"
+
+namespace ipfsmon::cid {
+namespace {
+
+// --- Multicodec -----------------------------------------------------------
+
+TEST(Multicodec, CodesMatchMultiformatsTable) {
+  EXPECT_EQ(static_cast<std::uint64_t>(Multicodec::Raw), 0x55u);
+  EXPECT_EQ(static_cast<std::uint64_t>(Multicodec::DagProtobuf), 0x70u);
+  EXPECT_EQ(static_cast<std::uint64_t>(Multicodec::DagCBOR), 0x71u);
+  EXPECT_EQ(static_cast<std::uint64_t>(Multicodec::GitRaw), 0x78u);
+  EXPECT_EQ(static_cast<std::uint64_t>(Multicodec::EthereumTx), 0x93u);
+  EXPECT_EQ(static_cast<std::uint64_t>(Multicodec::DagJSON), 0x0129u);
+}
+
+TEST(Multicodec, NamesMatchPaperTable1) {
+  EXPECT_EQ(multicodec_name(Multicodec::DagProtobuf), "DagProtobuf");
+  EXPECT_EQ(multicodec_name(Multicodec::Raw), "Raw");
+  EXPECT_EQ(multicodec_name(Multicodec::DagCBOR), "DagCBOR");
+  EXPECT_EQ(multicodec_name(Multicodec::GitRaw), "GitRaw");
+  EXPECT_EQ(multicodec_name(Multicodec::EthereumTx), "EthereumTx");
+}
+
+TEST(Multicodec, NameRoundTrips) {
+  for (const Multicodec codec : all_multicodecs()) {
+    const auto parsed = multicodec_from_name(multicodec_name(codec));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, codec);
+  }
+}
+
+TEST(Multicodec, RejectsUnknown) {
+  EXPECT_FALSE(multicodec_from_name("NoSuchCodec").has_value());
+  EXPECT_FALSE(multicodec_from_code(0xdeadbeef).has_value());
+}
+
+// --- Multihash -------------------------------------------------------------
+
+TEST(Multihash, Sha256EncodingHasCanonicalPrefix) {
+  const Multihash mh = Multihash::sha256_of(util::bytes_of("data"));
+  const util::Bytes encoded = mh.encode();
+  ASSERT_EQ(encoded.size(), 34u);
+  EXPECT_EQ(encoded[0], 0x12);  // sha2-256 code
+  EXPECT_EQ(encoded[1], 0x20);  // 32 bytes
+}
+
+TEST(Multihash, DecodeRoundTrips) {
+  const Multihash mh = Multihash::sha256_of(util::bytes_of("roundtrip"));
+  const auto decoded = Multihash::decode(mh.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->first, mh);
+  EXPECT_EQ(decoded->second, 34u);
+}
+
+TEST(Multihash, DecodeRejectsUnknownCodeAndTruncation) {
+  EXPECT_FALSE(Multihash::decode(util::Bytes{0x99, 0x20}).has_value());
+  util::Bytes truncated = Multihash::sha256_of(util::bytes_of("x")).encode();
+  truncated.resize(10);
+  EXPECT_FALSE(Multihash::decode(truncated).has_value());
+}
+
+TEST(Multihash, VerifiesMatchingDataOnly) {
+  const util::Bytes data = util::bytes_of("the block content");
+  const Multihash mh = Multihash::sha256_of(data);
+  EXPECT_TRUE(mh.verifies(data));
+  EXPECT_FALSE(mh.verifies(util::bytes_of("tampered content")));
+  EXPECT_FALSE(mh.verifies(util::Bytes{}));
+}
+
+TEST(Multihash, IdentityHashVerification) {
+  const util::Bytes data = util::bytes_of("tiny");
+  const Multihash mh(HashCode::Identity, data);
+  EXPECT_TRUE(mh.verifies(data));
+  EXPECT_FALSE(mh.verifies(util::bytes_of("other")));
+}
+
+// --- Cid ---------------------------------------------------------------------
+
+TEST(Cid, V0StringStartsWithQm) {
+  const Cid c = Cid::v0_of_data(util::bytes_of("hello"));
+  EXPECT_EQ(c.version(), 0u);
+  EXPECT_EQ(c.codec(), Multicodec::DagProtobuf);
+  EXPECT_EQ(c.to_string().substr(0, 2), "Qm");
+}
+
+TEST(Cid, V1StringStartsWithMultibasePrefix) {
+  const Cid c = Cid::of_data(Multicodec::Raw, util::bytes_of("hello"));
+  EXPECT_EQ(c.version(), 1u);
+  EXPECT_EQ(c.to_string().front(), 'b');
+}
+
+TEST(Cid, SameDataSameCid) {
+  const Cid a = Cid::of_data(Multicodec::Raw, util::bytes_of("content"));
+  const Cid b = Cid::of_data(Multicodec::Raw, util::bytes_of("content"));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(std::hash<Cid>{}(a), std::hash<Cid>{}(b));
+}
+
+TEST(Cid, DifferentCodecDifferentCid) {
+  const Cid a = Cid::of_data(Multicodec::Raw, util::bytes_of("content"));
+  const Cid b = Cid::of_data(Multicodec::DagCBOR, util::bytes_of("content"));
+  EXPECT_NE(a, b);
+}
+
+class CidStringRoundTrip : public ::testing::TestWithParam<Multicodec> {};
+
+TEST_P(CidStringRoundTrip, V1StringParsesBack) {
+  util::RngStream rng(20, "cid-rt");
+  for (int i = 0; i < 10; ++i) {
+    util::Bytes data(16);
+    rng.fill_bytes(data.data(), data.size());
+    const Cid c = Cid::of_data(GetParam(), data);
+    const auto parsed = Cid::from_string(c.to_string());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, c);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, CidStringRoundTrip,
+                         ::testing::Values(Multicodec::Raw,
+                                           Multicodec::DagProtobuf,
+                                           Multicodec::DagCBOR,
+                                           Multicodec::DagJSON,
+                                           Multicodec::GitRaw,
+                                           Multicodec::EthereumTx));
+
+TEST(Cid, V0StringParsesBack) {
+  const Cid c = Cid::v0_of_data(util::bytes_of("v0 block"));
+  const auto parsed = Cid::from_string(c.to_string());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, c);
+  EXPECT_EQ(parsed->version(), 0u);
+}
+
+TEST(Cid, BinaryRoundTripsBothVersions) {
+  const Cid v0 = Cid::v0_of_data(util::bytes_of("zero"));
+  const Cid v1 = Cid::of_data(Multicodec::DagCBOR, util::bytes_of("one"));
+  for (const Cid& c : {v0, v1}) {
+    const auto decoded = Cid::decode(c.encode());
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, c);
+  }
+}
+
+TEST(Cid, FromStringRejectsGarbage) {
+  EXPECT_FALSE(Cid::from_string("").has_value());
+  EXPECT_FALSE(Cid::from_string("xyz").has_value());
+  EXPECT_FALSE(Cid::from_string("Qm###").has_value());
+  EXPECT_FALSE(Cid::from_string("b!!!").has_value());
+}
+
+TEST(Cid, DecodeRejectsUnknownCodec) {
+  // varint version 1, codec 0x99 (unknown), then a valid multihash.
+  util::Bytes data{0x01, 0x99, 0x01};
+  const auto mh = Multihash::sha256_of(util::bytes_of("x")).encode();
+  data.insert(data.end(), mh.begin(), mh.end());
+  EXPECT_FALSE(Cid::decode(data).has_value());
+}
+
+TEST(Cid, OrderingIsStrictWeak) {
+  const Cid a = Cid::of_data(Multicodec::Raw, util::bytes_of("a"));
+  const Cid b = Cid::of_data(Multicodec::Raw, util::bytes_of("b"));
+  EXPECT_NE(a < b, b < a);
+  EXPECT_FALSE(a < a);
+}
+
+TEST(Cid, ShortHexIsPrefixOfDigest) {
+  const Cid c = Cid::of_data(Multicodec::Raw, util::bytes_of("hexy"));
+  const std::string full = util::to_hex(c.hash().digest());
+  EXPECT_EQ(c.short_hex(), full.substr(0, 12));
+}
+
+}  // namespace
+}  // namespace ipfsmon::cid

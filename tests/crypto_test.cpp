@@ -1,0 +1,170 @@
+// SHA-256 against FIPS/NIST vectors, incremental hashing, and peer
+// identity derivation.
+#include <gtest/gtest.h>
+
+#include "crypto/keys.hpp"
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+
+namespace ipfsmon::crypto {
+namespace {
+
+std::string digest_hex(const Sha256Digest& digest) {
+  return util::to_hex(util::BytesView(digest.data(), digest.size()));
+}
+
+// --- SHA-256 known-answer tests ------------------------------------------
+
+TEST(Sha256, EmptyInput) {
+  EXPECT_EQ(digest_hex(sha256_str("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(digest_hex(sha256_str("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(digest_hex(sha256_str(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  util::Bytes data(1000000, 'a');
+  EXPECT_EQ(digest_hex(sha256(data)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  // 64 bytes = exactly one block; padding spills to a second block.
+  const std::string msg(64, 'x');
+  const auto one_shot = sha256_str(msg);
+  Sha256 ctx;
+  ctx.update(util::bytes_of(msg));
+  EXPECT_EQ(ctx.finalize(), one_shot);
+}
+
+TEST(Sha256, FiftyFiveAndFiftySixBytes) {
+  // 55 bytes: padding fits in the same block; 56: it does not.
+  for (std::size_t len : {55u, 56u, 63u, 65u}) {
+    const std::string msg(len, 'q');
+    const auto d = sha256_str(msg);
+    // Compare against incremental 1-byte updates.
+    Sha256 ctx;
+    for (char c : msg) {
+      const std::uint8_t byte = static_cast<std::uint8_t>(c);
+      ctx.update(util::BytesView(&byte, 1));
+    }
+    EXPECT_EQ(ctx.finalize(), d) << "length " << len;
+  }
+}
+
+TEST(Sha256, IncrementalMatchesOneShotOnRandomSplits) {
+  util::RngStream rng(5, "sha-splits");
+  util::Bytes data(777);
+  rng.fill_bytes(data.data(), data.size());
+  const auto expected = sha256(data);
+  for (int trial = 0; trial < 20; ++trial) {
+    Sha256 ctx;
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+      const std::size_t take =
+          std::min<std::size_t>(1 + rng.uniform_index(200), data.size() - pos);
+      ctx.update(util::BytesView(data.data() + pos, take));
+      pos += take;
+    }
+    EXPECT_EQ(ctx.finalize(), expected);
+  }
+}
+
+TEST(Sha256, DifferentInputsDiffer) {
+  EXPECT_NE(sha256_str("a"), sha256_str("b"));
+  EXPECT_NE(sha256_str("abc"), sha256_str("abcd"));
+}
+
+class Sha256Lengths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Sha256Lengths, OneShotEqualsChunked) {
+  util::RngStream rng(6, "sha-len");
+  util::Bytes data(GetParam());
+  rng.fill_bytes(data.data(), data.size());
+  const auto expected = sha256(data);
+  Sha256 ctx;
+  const std::size_t half = data.size() / 2;
+  ctx.update(util::BytesView(data.data(), half));
+  ctx.update(util::BytesView(data.data() + half, data.size() - half));
+  EXPECT_EQ(ctx.finalize(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, Sha256Lengths,
+                         ::testing::Values(0, 1, 31, 32, 33, 63, 64, 65, 127,
+                                           128, 129, 255, 256, 1000));
+
+// --- PeerId ----------------------------------------------------------------
+
+TEST(PeerId, DerivedFromPublicKey) {
+  util::RngStream rng(7, "keys");
+  const KeyPair kp = KeyPair::generate(rng);
+  const PeerId id = kp.peer_id();
+  const auto expected = sha256(kp.public_key);
+  EXPECT_TRUE(std::equal(id.digest().begin(), id.digest().end(),
+                         expected.begin()));
+}
+
+TEST(PeerId, Base58FormStartsWithQm) {
+  util::RngStream rng(8, "keys2");
+  const PeerId id = KeyPair::generate(rng).peer_id();
+  const std::string b58 = id.to_base58();
+  // 0x12 0x20 multihash prefix base58-encodes to "Qm".
+  EXPECT_EQ(b58.substr(0, 2), "Qm");
+}
+
+TEST(PeerId, Base58RoundTrips) {
+  util::RngStream rng(9, "keys3");
+  for (int i = 0; i < 20; ++i) {
+    const PeerId id = KeyPair::generate(rng).peer_id();
+    const auto parsed = PeerId::from_base58(id.to_base58());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, id);
+  }
+}
+
+TEST(PeerId, FromBase58RejectsGarbage) {
+  EXPECT_FALSE(PeerId::from_base58("not-base58!").has_value());
+  EXPECT_FALSE(PeerId::from_base58("Qm").has_value());
+  EXPECT_FALSE(PeerId::from_base58("").has_value());
+}
+
+TEST(PeerId, UnitIntervalIsInRangeAndUniformish) {
+  util::RngStream rng(10, "keys4");
+  double sum = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const double u = KeyPair::generate(rng).peer_id().as_unit_interval();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.03);  // uniform mean
+}
+
+TEST(PeerId, DistinctKeysDistinctIds) {
+  util::RngStream rng(11, "keys5");
+  const PeerId a = KeyPair::generate(rng).peer_id();
+  const PeerId b = KeyPair::generate(rng).peer_id();
+  EXPECT_NE(a, b);
+  EXPECT_NE(std::hash<PeerId>{}(a), std::hash<PeerId>{}(b));
+}
+
+TEST(PeerId, OrderingIsConsistent) {
+  util::RngStream rng(12, "keys6");
+  const PeerId a = KeyPair::generate(rng).peer_id();
+  const PeerId b = KeyPair::generate(rng).peer_id();
+  EXPECT_NE(a < b, b < a);
+  EXPECT_TRUE(a == a);
+}
+
+}  // namespace
+}  // namespace ipfsmon::crypto

@@ -1,0 +1,261 @@
+// Blocks, the minimal protobuf codec, dag-pb nodes, chunking, and
+// Merkle-DAG construction/traversal.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "dag/block.hpp"
+#include "dag/builder.hpp"
+#include "dag/chunker.hpp"
+#include "dag/dag_node.hpp"
+#include "dag/protobuf.hpp"
+#include "util/rng.hpp"
+
+namespace ipfsmon::dag {
+namespace {
+
+// --- Block -------------------------------------------------------------------
+
+TEST(Block, CidMatchesContent) {
+  const Block b = Block::raw(util::bytes_of("payload"));
+  EXPECT_TRUE(b.verify());
+  EXPECT_EQ(b.id(), cid::Cid::of_data(cid::Multicodec::Raw,
+                                      util::bytes_of("payload")));
+}
+
+TEST(Block, TamperedBlockFailsVerification) {
+  Block good = Block::raw(util::bytes_of("original"));
+  Block bad(good.id(), util::bytes_of("swapped"));
+  EXPECT_FALSE(bad.verify());
+}
+
+// --- ProtoWriter / ProtoReader -----------------------------------------------
+
+TEST(Protobuf, VarintFieldRoundTrips) {
+  ProtoWriter w;
+  w.varint_field(3, 1234567);
+  ProtoReader r(w.bytes());
+  const auto f = r.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->number, 3u);
+  EXPECT_EQ(f->type, WireType::Varint);
+  EXPECT_EQ(f->varint, 1234567u);
+  EXPECT_TRUE(r.ok_at_end());
+}
+
+TEST(Protobuf, BytesFieldRoundTrips) {
+  ProtoWriter w;
+  w.string_field(2, "hello");
+  ProtoReader r(w.bytes());
+  const auto f = r.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->number, 2u);
+  EXPECT_EQ(util::string_of(f->payload), "hello");
+}
+
+TEST(Protobuf, MultipleFieldsInOrder) {
+  ProtoWriter w;
+  w.varint_field(1, 7);
+  w.string_field(2, "x");
+  w.varint_field(1, 9);
+  ProtoReader r(w.bytes());
+  EXPECT_EQ(r.next()->varint, 7u);
+  EXPECT_EQ(util::string_of(r.next()->payload), "x");
+  EXPECT_EQ(r.next()->varint, 9u);
+  EXPECT_FALSE(r.next().has_value());
+  EXPECT_TRUE(r.ok_at_end());
+}
+
+TEST(Protobuf, RejectsTruncatedLengthDelimited) {
+  ProtoWriter w;
+  w.string_field(1, "long payload here");
+  util::Bytes data = w.take();
+  data.resize(data.size() - 5);
+  ProtoReader r(data);
+  EXPECT_FALSE(r.next().has_value());
+  EXPECT_FALSE(r.ok_at_end());
+}
+
+TEST(Protobuf, RejectsUnsupportedWireTypes) {
+  const util::Bytes fixed64_tag{0x09};  // field 1, wire type 1
+  ProtoReader r(fixed64_tag);
+  EXPECT_FALSE(r.next().has_value());
+  EXPECT_FALSE(r.ok_at_end());
+}
+
+// --- DagNode --------------------------------------------------------------------
+
+TEST(DagNode, FileNodeRoundTrips) {
+  DagNode node;
+  node.kind = DagNodeKind::File;
+  node.data = util::bytes_of("file contents");
+  const Block block = node.to_block();
+  EXPECT_EQ(block.id().codec(), cid::Multicodec::DagProtobuf);
+  const auto parsed = DagNode::from_bytes(block.data());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, node);
+}
+
+TEST(DagNode, DirectoryWithLinksRoundTrips) {
+  const Block child1 = Block::raw(util::bytes_of("c1"));
+  const Block child2 = Block::raw(util::bytes_of("c2"));
+  DagNode dir;
+  dir.kind = DagNodeKind::Directory;
+  dir.links.push_back(DagLink{child1.id(), "a.txt", 2});
+  dir.links.push_back(DagLink{child2.id(), "b.txt", 2});
+  const Block block = dir.to_block();
+  const auto parsed = DagNode::from_bytes(block.data());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->kind, DagNodeKind::Directory);
+  ASSERT_EQ(parsed->links.size(), 2u);
+  EXPECT_EQ(parsed->links[0].name, "a.txt");
+  EXPECT_EQ(parsed->links[0].target, child1.id());
+  EXPECT_EQ(parsed->links[1].total_size, 2u);
+}
+
+TEST(DagNode, RejectsGarbage) {
+  EXPECT_FALSE(DagNode::from_bytes(util::bytes_of("not protobuf")).has_value());
+  EXPECT_FALSE(DagNode::from_bytes(util::Bytes{}).has_value());
+}
+
+// --- Chunker -----------------------------------------------------------------
+
+TEST(Chunker, EmptyInputYieldsOneEmptyChunk) {
+  const auto chunks = chunk_fixed(util::Bytes{}, 16);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_TRUE(chunks[0].empty());
+}
+
+TEST(Chunker, ExactMultipleSplitsEvenly) {
+  util::Bytes data(64, 7);
+  const auto chunks = chunk_fixed(data, 16);
+  ASSERT_EQ(chunks.size(), 4u);
+  for (const auto& c : chunks) EXPECT_EQ(c.size(), 16u);
+}
+
+TEST(Chunker, RemainderGoesToLastChunk) {
+  util::Bytes data(70, 7);
+  const auto chunks = chunk_fixed(data, 16);
+  ASSERT_EQ(chunks.size(), 5u);
+  EXPECT_EQ(chunks.back().size(), 6u);
+}
+
+TEST(Chunker, ConcatenationRestoresInput) {
+  util::RngStream rng(30, "chunk");
+  util::Bytes data(1000);
+  rng.fill_bytes(data.data(), data.size());
+  const auto chunks = chunk_fixed(data, 77);
+  util::Bytes restored;
+  for (const auto& c : chunks) restored.insert(restored.end(), c.begin(), c.end());
+  EXPECT_EQ(restored, data);
+}
+
+TEST(Chunker, RejectsZeroChunkSize) {
+  EXPECT_THROW(chunk_fixed(util::bytes_of("x"), 0), std::invalid_argument);
+}
+
+// --- Builder ------------------------------------------------------------------
+
+TEST(Builder, SmallFileIsSingleRawBlock) {
+  const auto result = build_file(util::bytes_of("tiny"));
+  ASSERT_EQ(result.blocks.size(), 1u);
+  EXPECT_EQ(result.root, result.blocks[0].id());
+  EXPECT_EQ(result.root.codec(), cid::Multicodec::Raw);
+}
+
+TEST(Builder, SmallFileDagPbLeavesWhenRequested) {
+  BuilderOptions options;
+  options.raw_leaves = false;
+  const auto result = build_file(util::bytes_of("tiny"), options);
+  ASSERT_EQ(result.blocks.size(), 1u);
+  EXPECT_EQ(result.root.codec(), cid::Multicodec::DagProtobuf);
+}
+
+TEST(Builder, MultiChunkFileHasInteriorRoot) {
+  BuilderOptions options;
+  options.chunk_size = 8;
+  util::Bytes data(50, 1);
+  const auto result = build_file(data, options);
+  // ceil(50/8) = 7 leaves + 1 root.
+  EXPECT_EQ(result.blocks.size(), 8u);
+  EXPECT_EQ(result.root.codec(), cid::Multicodec::DagProtobuf);
+  const auto root_node = DagNode::from_bytes(result.blocks.back().data());
+  ASSERT_TRUE(root_node.has_value());
+  EXPECT_EQ(root_node->links.size(), 7u);
+}
+
+TEST(Builder, DeepDagWhenFanOutExceeded) {
+  BuilderOptions options;
+  options.chunk_size = 4;
+  options.max_links = 3;
+  util::Bytes data(48, 2);  // 12 leaves -> 4 interior -> 2 interior -> 1 root
+  const auto result = build_file(data, options);
+  EXPECT_EQ(result.blocks.size(), 12u + 4u + 2u + 1u);
+}
+
+TEST(Builder, IdenticalChunksDeduplicateByCid) {
+  BuilderOptions options;
+  options.chunk_size = 8;
+  util::Bytes data(32, 9);  // four identical chunks
+  const auto result = build_file(data, options);
+  std::map<cid::Cid, int> unique;
+  for (const auto& b : result.blocks) ++unique[b.id()];
+  // 4 identical leaves share one CID (content addressing dedups them).
+  EXPECT_EQ(unique.size(), 2u);  // leaf CID + root CID
+}
+
+TEST(Builder, DirectoryReferencesEntries) {
+  const auto file_a = build_file(util::bytes_of("aaa"));
+  const auto file_b = build_file(util::bytes_of("bbb"));
+  const auto dir = build_directory({
+      DirEntry{"a.txt", file_a.root, 3},
+      DirEntry{"b.txt", file_b.root, 3},
+  });
+  ASSERT_EQ(dir.blocks.size(), 1u);
+  const auto node = DagNode::from_bytes(dir.blocks[0].data());
+  ASSERT_TRUE(node.has_value());
+  EXPECT_EQ(node->kind, DagNodeKind::Directory);
+  EXPECT_EQ(node->links.size(), 2u);
+}
+
+TEST(Builder, TraverseBfsVisitsAllBlocks) {
+  BuilderOptions options;
+  options.chunk_size = 8;
+  options.max_links = 4;
+  util::RngStream rng(31, "dag");
+  util::Bytes data(200);
+  rng.fill_bytes(data.data(), data.size());
+  const auto result = build_file(data, options);
+
+  std::map<cid::Cid, const Block*> store;
+  for (const auto& b : result.blocks) store[b.id()] = &b;
+  const auto order = traverse_bfs(result.root, [&](const cid::Cid& c) {
+    const auto it = store.find(c);
+    return it == store.end() ? nullptr : it->second;
+  });
+  EXPECT_EQ(order.size(), store.size());
+  EXPECT_EQ(order.front(), result.root);
+}
+
+TEST(Builder, TraverseToleratesMissingBlocks) {
+  BuilderOptions options;
+  options.chunk_size = 8;
+  util::RngStream rng(32, "dag-missing");
+  util::Bytes data(40);
+  rng.fill_bytes(data.data(), data.size());  // distinct chunks
+  const auto result = build_file(data, options);
+  // Only provide the root: traversal lists children but cannot descend.
+  const Block& root_block = result.blocks.back();
+  const auto order = traverse_bfs(result.root, [&](const cid::Cid& c) {
+    return c == result.root ? &root_block : nullptr;
+  });
+  EXPECT_EQ(order.size(), result.blocks.size());  // root + listed leaves
+}
+
+TEST(Builder, TotalSizeSumsBlocks) {
+  const auto result = build_file(util::bytes_of("123456"));
+  EXPECT_EQ(result.total_size(), 6u);
+}
+
+}  // namespace
+}  // namespace ipfsmon::dag

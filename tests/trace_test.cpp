@@ -1,0 +1,392 @@
+// Trace model, preprocessing windows (5 s inter-monitor dedup, 31 s
+// re-broadcast marking — paper Sec. IV-B), and serialization round trips.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/io.hpp"
+#include "trace/preprocess.hpp"
+#include "trace/trace.hpp"
+
+namespace ipfsmon::trace {
+namespace {
+
+using util::kSecond;
+
+crypto::PeerId peer_n(int n) {
+  util::RngStream rng(static_cast<std::uint64_t>(n) + 1, "trace-peer");
+  return crypto::KeyPair::generate(rng).peer_id();
+}
+
+cid::Cid cid_n(int n) {
+  return cid::Cid::of_data(cid::Multicodec::Raw,
+                           util::bytes_of("cid " + std::to_string(n)));
+}
+
+TraceEntry entry(util::SimTime t, int peer, int cid, MonitorId monitor,
+                 bitswap::WantType type = bitswap::WantType::WantHave) {
+  TraceEntry e;
+  e.timestamp = t;
+  e.peer = peer_n(peer);
+  e.address = net::Address{0x0a000001u + static_cast<std::uint32_t>(peer), 4001};
+  e.type = type;
+  e.cid = cid_n(cid);
+  e.monitor = monitor;
+  return e;
+}
+
+// --- Trace basics -------------------------------------------------------------
+
+TEST(Trace, SortIsStableByTimestamp) {
+  Trace t;
+  t.append(entry(5 * kSecond, 1, 1, 0));
+  t.append(entry(1 * kSecond, 2, 2, 0));
+  t.append(entry(5 * kSecond, 3, 3, 0));  // same ts as first: keeps order
+  t.sort_by_time();
+  EXPECT_EQ(t.entries()[0].peer, peer_n(2));
+  EXPECT_EQ(t.entries()[1].peer, peer_n(1));
+  EXPECT_EQ(t.entries()[2].peer, peer_n(3));
+}
+
+TEST(Trace, StatsCountCategories) {
+  Trace t;
+  t.append(entry(0, 1, 1, 0, bitswap::WantType::WantHave));
+  t.append(entry(1, 1, 1, 0, bitswap::WantType::WantBlock));
+  t.append(entry(2, 2, 1, 0, bitswap::WantType::Cancel));
+  auto e = entry(3, 1, 2, 0);
+  e.flags = kRebroadcast;
+  t.append(e);
+  const TraceStats stats = compute_stats(t);
+  EXPECT_EQ(stats.total, 4u);
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.cancels, 1u);
+  EXPECT_EQ(stats.rebroadcasts, 1u);
+  EXPECT_EQ(stats.clean, 3u);
+  EXPECT_EQ(stats.unique_peers, 2u);
+  EXPECT_EQ(stats.unique_cids, 2u);
+}
+
+TEST(Trace, FilterAndDeduplicated) {
+  Trace t;
+  t.append(entry(0, 1, 1, 0));
+  auto flagged = entry(1, 1, 1, 0);
+  flagged.flags = kInterMonitorDuplicate;
+  t.append(flagged);
+  EXPECT_EQ(t.deduplicated().size(), 1u);
+  EXPECT_EQ(t.filter([](const TraceEntry& e) { return e.is_duplicate(); }).size(),
+            1u);
+}
+
+// --- Preprocessing: inter-monitor duplicates ------------------------------------
+
+TEST(Preprocess, MarksInterMonitorDuplicateWithinFiveSeconds) {
+  Trace a, b;
+  a.append(entry(100 * kSecond, 1, 1, 0));
+  b.append(entry(103 * kSecond, 1, 1, 1));  // same want, 3 s later, monitor 1
+  const Trace unified = unify({&a, &b});
+  ASSERT_EQ(unified.size(), 2u);
+  EXPECT_TRUE(unified.entries()[0].is_clean());
+  EXPECT_TRUE(unified.entries()[1].is_duplicate());
+  EXPECT_FALSE(unified.entries()[1].is_rebroadcast());
+}
+
+TEST(Preprocess, ExactWindowBoundaryIsDuplicate) {
+  Trace a, b;
+  a.append(entry(0, 1, 1, 0));
+  b.append(entry(5 * kSecond, 1, 1, 1));  // exactly 5 s: ≤ window
+  const Trace unified = unify({&a, &b});
+  EXPECT_TRUE(unified.entries()[1].is_duplicate());
+}
+
+TEST(Preprocess, BeyondWindowIsNotDuplicate) {
+  Trace a, b;
+  a.append(entry(0, 1, 1, 0));
+  b.append(entry(5 * kSecond + 1, 1, 1, 1));
+  const Trace unified = unify({&a, &b});
+  EXPECT_TRUE(unified.entries()[1].is_clean());
+}
+
+TEST(Preprocess, DifferentKeyNeverDuplicate) {
+  Trace a, b;
+  a.append(entry(0, 1, 1, 0));
+  b.append(entry(1 * kSecond, 1, 2, 1));  // different CID
+  b.append(entry(2 * kSecond, 2, 1, 1));  // different peer
+  b.append(entry(3 * kSecond, 1, 1, 1, bitswap::WantType::WantBlock));  // type
+  const Trace unified = unify({&a, &b});
+  for (const auto& e : unified.entries()) {
+    EXPECT_FALSE(e.is_duplicate());
+  }
+}
+
+// --- Preprocessing: re-broadcasts -------------------------------------------------
+
+TEST(Preprocess, MarksSameMonitorRepeatWithin31Seconds) {
+  Trace a;
+  a.append(entry(0, 1, 1, 0));
+  a.append(entry(30 * kSecond, 1, 1, 0));  // the classic 30 s re-broadcast
+  const Trace unified = unify({&a});
+  EXPECT_TRUE(unified.entries()[0].is_clean());
+  EXPECT_TRUE(unified.entries()[1].is_rebroadcast());
+}
+
+TEST(Preprocess, RebroadcastChainIsFullyMarked) {
+  Trace a;
+  for (int i = 0; i < 5; ++i) {
+    a.append(entry(i * 30 * kSecond, 1, 1, 0));
+  }
+  const Trace unified = unify({&a});
+  EXPECT_TRUE(unified.entries()[0].is_clean());
+  for (std::size_t i = 1; i < 5; ++i) {
+    EXPECT_TRUE(unified.entries()[i].is_rebroadcast()) << i;
+  }
+  EXPECT_NEAR(rebroadcast_share(unified), 0.8, 1e-9);
+}
+
+TEST(Preprocess, GapBeyond31SecondsStartsFresh) {
+  Trace a;
+  a.append(entry(0, 1, 1, 0));
+  a.append(entry(60 * kSecond, 1, 1, 0));  // > 31 s: a genuinely new request
+  const Trace unified = unify({&a});
+  EXPECT_TRUE(unified.entries()[1].is_clean());
+}
+
+TEST(Preprocess, RebroadcastAndDuplicateFlagsCompose) {
+  // Monitor 0 sees the want twice (re-broadcast); monitor 1 sees the second
+  // occurrence 2 s later (inter-monitor duplicate of it).
+  Trace a, b;
+  a.append(entry(0, 1, 1, 0));
+  a.append(entry(30 * kSecond, 1, 1, 0));
+  b.append(entry(32 * kSecond, 1, 1, 1));
+  const Trace unified = unify({&a, &b});
+  ASSERT_EQ(unified.size(), 3u);
+  EXPECT_TRUE(unified.entries()[1].is_rebroadcast());
+  EXPECT_TRUE(unified.entries()[2].is_duplicate());
+  // Monitor 1's entry is also within 31 s of monitor 0's — but the
+  // re-broadcast window is per-monitor, so it is NOT a re-broadcast.
+  EXPECT_FALSE(unified.entries()[2].is_rebroadcast());
+}
+
+TEST(Preprocess, CancelEntriesTrackedIndependentlyOfWants) {
+  Trace a;
+  a.append(entry(0, 1, 1, 0, bitswap::WantType::WantHave));
+  a.append(entry(10 * kSecond, 1, 1, 0, bitswap::WantType::Cancel));
+  const Trace unified = unify({&a});
+  // Different type ⇒ different key ⇒ no flags.
+  EXPECT_TRUE(unified.entries()[1].is_clean());
+}
+
+TEST(Preprocess, CustomWindows) {
+  PreprocessOptions options;
+  options.rebroadcast_window = 10 * kSecond;
+  Trace a;
+  a.append(entry(0, 1, 1, 0));
+  a.append(entry(15 * kSecond, 1, 1, 0));
+  const Trace unified = unify({&a}, options);
+  EXPECT_TRUE(unified.entries()[1].is_clean());  // outside the 10 s window
+}
+
+TEST(Preprocess, UnifySortsAcrossMonitors) {
+  Trace a, b;
+  a.append(entry(10 * kSecond, 1, 1, 0));
+  b.append(entry(5 * kSecond, 2, 2, 1));
+  const Trace unified = unify({&a, &b});
+  EXPECT_EQ(unified.entries()[0].monitor, 1u);
+  EXPECT_EQ(unified.entries()[1].monitor, 0u);
+}
+
+class RebroadcastWindowBoundary
+    : public ::testing::TestWithParam<std::pair<util::SimDuration, bool>> {};
+
+TEST_P(RebroadcastWindowBoundary, FlagMatchesWindow) {
+  const auto [delta, expect_flag] = GetParam();
+  Trace a;
+  a.append(entry(0, 1, 1, 0));
+  a.append(entry(delta, 1, 1, 0));
+  const Trace unified = unify({&a});
+  EXPECT_EQ(unified.entries()[1].is_rebroadcast(), expect_flag);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, RebroadcastWindowBoundary,
+    ::testing::Values(std::pair{1 * kSecond, true},
+                      std::pair{30 * kSecond, true},
+                      std::pair{31 * kSecond, true},
+                      std::pair{31 * kSecond + 1, false},
+                      std::pair{60 * kSecond, false}));
+
+// --- IO round trips -------------------------------------------------------------
+
+Trace make_random_trace(std::size_t n, std::uint64_t seed) {
+  util::RngStream rng(seed, "trace-io");
+  Trace t;
+  for (std::size_t i = 0; i < n; ++i) {
+    TraceEntry e = entry(static_cast<util::SimTime>(rng.uniform_index(1000)) *
+                             kSecond,
+                         static_cast<int>(rng.uniform_index(10)),
+                         static_cast<int>(rng.uniform_index(20)),
+                         static_cast<MonitorId>(rng.uniform_index(2)));
+    const auto roll = rng.uniform_index(3);
+    e.type = roll == 0   ? bitswap::WantType::WantHave
+             : roll == 1 ? bitswap::WantType::WantBlock
+                         : bitswap::WantType::Cancel;
+    e.flags = static_cast<std::uint32_t>(rng.uniform_index(4));
+    t.append(std::move(e));
+  }
+  return t;
+}
+
+bool traces_equal(const Trace& a, const Trace& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& x = a.entries()[i];
+    const auto& y = b.entries()[i];
+    if (x.timestamp != y.timestamp || x.peer != y.peer ||
+        x.address != y.address || x.type != y.type || x.cid != y.cid ||
+        x.monitor != y.monitor || x.flags != y.flags) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(TraceIo, CsvRoundTrips) {
+  const Trace original = make_random_trace(100, 1);
+  std::stringstream buffer;
+  write_csv(buffer, original);
+  const auto loaded = read_csv(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(traces_equal(original, *loaded));
+}
+
+TEST(TraceIo, BinaryRoundTrips) {
+  const Trace original = make_random_trace(100, 2);
+  std::stringstream buffer;
+  write_binary(buffer, original);
+  const auto loaded = read_binary(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(traces_equal(original, *loaded));
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  const Trace empty;
+  std::stringstream csv, bin;
+  write_csv(csv, empty);
+  write_binary(bin, empty);
+  ASSERT_TRUE(read_csv(csv).has_value());
+  ASSERT_TRUE(read_binary(bin).has_value());
+  EXPECT_EQ(read_binary(bin)->size(), 0u);
+}
+
+TEST(TraceIo, CsvRejectsBadHeader) {
+  std::stringstream buffer("wrong,header\n");
+  EXPECT_FALSE(read_csv(buffer).has_value());
+}
+
+TEST(TraceIo, CsvRejectsMalformedRow) {
+  std::stringstream buffer;
+  buffer << "timestamp_ns,peer,address,type,cid,monitor,flags\n"
+         << "123,notapeer,/ip4/1.2.3.4/tcp/1,WANT_HAVE,notacid,0,0\n";
+  EXPECT_FALSE(read_csv(buffer).has_value());
+}
+
+TEST(TraceIo, BinaryRejectsBadMagic) {
+  std::stringstream buffer("garbage data");
+  EXPECT_FALSE(read_binary(buffer).has_value());
+}
+
+TEST(TraceIo, BinaryRejectsTruncation) {
+  const Trace original = make_random_trace(10, 3);
+  std::stringstream buffer;
+  write_binary(buffer, original);
+  std::string data = buffer.str();
+  data.resize(data.size() / 2);
+  std::stringstream truncated(data);
+  EXPECT_FALSE(read_binary(truncated).has_value());
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const Trace original = make_random_trace(50, 4);
+  const std::string path = ::testing::TempDir() + "/trace_io_test.bin";
+  ASSERT_TRUE(save_binary(path, original));
+  const auto loaded = load_binary(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(traces_equal(original, *loaded));
+  EXPECT_FALSE(load_binary("/nonexistent/path/x.bin").has_value());
+}
+
+TEST(TraceIo, CompactBinaryRoundTrips) {
+  const Trace original = make_random_trace(300, 6);
+  std::stringstream buffer;
+  write_binary_compact(buffer, original);
+  const auto loaded = read_binary_compact(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(traces_equal(original, *loaded));
+}
+
+TEST(TraceIo, CompactBinaryIsSmallerThanPlainBinary) {
+  // Long traces repeat the same peers/CIDs constantly: the dictionary
+  // format must beat the per-entry encoding decisively.
+  const Trace t = make_random_trace(5000, 7);
+  std::stringstream plain, compact;
+  write_binary(plain, t);
+  write_binary_compact(compact, t);
+  EXPECT_LT(compact.str().size(), plain.str().size() / 3);
+}
+
+TEST(TraceIo, CompactBinaryHandlesEmptyTrace) {
+  std::stringstream buffer;
+  write_binary_compact(buffer, Trace{});
+  const auto loaded = read_binary_compact(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 0u);
+}
+
+TEST(TraceIo, CompactBinaryRejectsCorruption) {
+  const Trace t = make_random_trace(50, 8);
+  std::stringstream buffer;
+  write_binary_compact(buffer, t);
+  std::string data = buffer.str();
+  data.resize(data.size() * 2 / 3);  // truncate
+  std::stringstream truncated(data);
+  EXPECT_FALSE(read_binary_compact(truncated).has_value());
+  std::stringstream garbage("IPM2 but not really");
+  EXPECT_FALSE(read_binary_compact(garbage).has_value());
+}
+
+TEST(TraceIo, CompactBinaryPreservesUnsortedTimestamps) {
+  // Delta coding must survive non-monotonic timestamps (zig-zag).
+  Trace t;
+  t.append(entry(100 * kSecond, 1, 1, 0));
+  t.append(entry(10 * kSecond, 2, 2, 1));   // backwards jump
+  t.append(entry(500 * kSecond, 1, 1, 0));
+  std::stringstream buffer;
+  write_binary_compact(buffer, t);
+  const auto loaded = read_binary_compact(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(traces_equal(t, *loaded));
+}
+
+TEST(TraceIo, LoadAnyDetectsAllThreeFormats) {
+  const Trace t = make_random_trace(40, 9);
+  const std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(save_csv(dir + "/any.csv", t));
+  ASSERT_TRUE(save_binary(dir + "/any.bin", t));
+  ASSERT_TRUE(save_binary_compact(dir + "/any.cbin", t));
+  for (const char* name : {"/any.csv", "/any.bin", "/any.cbin"}) {
+    const auto loaded = load_any(dir + name);
+    ASSERT_TRUE(loaded.has_value()) << name;
+    EXPECT_TRUE(traces_equal(t, *loaded)) << name;
+  }
+  EXPECT_FALSE(load_any("/does/not/exist").has_value());
+}
+
+TEST(TraceIo, BinaryIsSmallerThanCsv) {
+  const Trace t = make_random_trace(200, 5);
+  std::stringstream csv, bin;
+  write_csv(csv, t);
+  write_binary(bin, t);
+  EXPECT_LT(bin.str().size(), csv.str().size());
+}
+
+}  // namespace
+}  // namespace ipfsmon::trace

@@ -1,0 +1,383 @@
+// Unit and property tests for the util module: hex, varint, base58,
+// base32, deterministic RNG, and string helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <set>
+
+#include "util/base32.hpp"
+#include "util/base58.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/time.hpp"
+#include "util/varint.hpp"
+
+namespace ipfsmon::util {
+namespace {
+
+// --- hex ---------------------------------------------------------------
+
+TEST(Hex, EncodesKnownBytes) {
+  EXPECT_EQ(to_hex(Bytes{0xde, 0xad, 0xbe, 0xef}), "deadbeef");
+  EXPECT_EQ(to_hex(Bytes{0x00}), "00");
+  EXPECT_EQ(to_hex(Bytes{}), "");
+}
+
+TEST(Hex, DecodesKnownStrings) {
+  EXPECT_EQ(from_hex("deadbeef"), (Bytes{0xde, 0xad, 0xbe, 0xef}));
+  EXPECT_EQ(from_hex("DEADBEEF"), (Bytes{0xde, 0xad, 0xbe, 0xef}));
+  EXPECT_EQ(from_hex(""), Bytes{});
+}
+
+TEST(Hex, RejectsMalformedInput) {
+  EXPECT_FALSE(from_hex("abc").has_value());   // odd length
+  EXPECT_FALSE(from_hex("zz").has_value());    // non-hex chars
+  EXPECT_FALSE(from_hex("0g").has_value());
+}
+
+TEST(Hex, RoundTripsRandomBuffers) {
+  RngStream rng(1, "hex");
+  for (int i = 0; i < 50; ++i) {
+    Bytes data(rng.uniform_index(64));
+    rng.fill_bytes(data.data(), data.size());
+    const auto decoded = from_hex(to_hex(data));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, data);
+  }
+}
+
+TEST(Bytes, LexLessOrdersCorrectly) {
+  EXPECT_TRUE(lex_less(Bytes{1, 2}, Bytes{1, 3}));
+  EXPECT_TRUE(lex_less(Bytes{1}, Bytes{1, 0}));  // prefix is smaller
+  EXPECT_FALSE(lex_less(Bytes{2}, Bytes{1, 9}));
+  EXPECT_FALSE(lex_less(Bytes{}, Bytes{}));
+}
+
+TEST(Bytes, StringRoundTrip) {
+  EXPECT_EQ(string_of(bytes_of("hello")), "hello");
+  EXPECT_EQ(bytes_of("").size(), 0u);
+}
+
+// --- varint ------------------------------------------------------------
+
+TEST(Varint, EncodesSpecExamples) {
+  EXPECT_EQ(varint_encode(0), (Bytes{0x00}));
+  EXPECT_EQ(varint_encode(1), (Bytes{0x01}));
+  EXPECT_EQ(varint_encode(127), (Bytes{0x7f}));
+  EXPECT_EQ(varint_encode(128), (Bytes{0x80, 0x01}));
+  EXPECT_EQ(varint_encode(255), (Bytes{0xff, 0x01}));
+  EXPECT_EQ(varint_encode(300), (Bytes{0xac, 0x02}));
+  EXPECT_EQ(varint_encode(16384), (Bytes{0x80, 0x80, 0x01}));
+}
+
+TEST(Varint, DecodeReportsConsumedBytes) {
+  const Bytes data{0xac, 0x02, 0xff};
+  const auto result = varint_decode(data);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->value, 300u);
+  EXPECT_EQ(result->consumed, 2u);
+}
+
+TEST(Varint, RejectsTruncatedInput) {
+  EXPECT_FALSE(varint_decode(Bytes{0x80}).has_value());
+  EXPECT_FALSE(varint_decode(Bytes{}).has_value());
+}
+
+TEST(Varint, RejectsOverlongInput) {
+  const Bytes overlong(10, 0x80);
+  EXPECT_FALSE(varint_decode(overlong).has_value());
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarintRoundTrip, EncodeDecodeIsIdentity) {
+  const std::uint64_t value = GetParam();
+  const Bytes encoded = varint_encode(value);
+  const auto decoded = varint_decode(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->value, value);
+  EXPECT_EQ(decoded->consumed, encoded.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, VarintRoundTrip,
+    ::testing::Values(0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull,
+                      (1ull << 21) - 1, 1ull << 21, (1ull << 32) - 1,
+                      1ull << 32, (1ull << 56) - 1, 1ull << 56,
+                      (1ull << 63) - 1));
+
+TEST(Varint, SpecCapsAtNineBytes) {
+  // The multiformats spec limits varints to 9 bytes (63 bits); 2^64-1
+  // would need 10 bytes, so its encoding must be rejected on decode.
+  const Bytes encoded = varint_encode(~0ull);
+  EXPECT_EQ(encoded.size(), 10u);
+  EXPECT_FALSE(varint_decode(encoded).has_value());
+}
+
+// --- base58 ------------------------------------------------------------
+
+TEST(Base58, EncodesKnownVectors) {
+  // Standard test vectors from the Bitcoin base58 suite.
+  EXPECT_EQ(base58_encode(bytes_of("hello world")), "StV1DL6CwTryKyV");
+  EXPECT_EQ(base58_encode(Bytes{}), "");
+  EXPECT_EQ(base58_encode(Bytes{0x00}), "1");
+  EXPECT_EQ(base58_encode(Bytes{0x00, 0x00}), "11");
+  // Bitcoin address payload including its 4-byte checksum.
+  EXPECT_EQ(base58_encode(
+                *from_hex("00010966776006953d5567439e5e39f86a0d273beed61967f6")),
+            "16UwLL9Risc3QfPqBUvKofHmBQ7wMtjvM");
+}
+
+TEST(Base58, DecodesKnownVectors) {
+  EXPECT_EQ(base58_decode("StV1DL6CwTryKyV"), bytes_of("hello world"));
+  EXPECT_EQ(base58_decode(""), Bytes{});
+  EXPECT_EQ(base58_decode("1"), (Bytes{0x00}));
+}
+
+TEST(Base58, RejectsInvalidAlphabet) {
+  EXPECT_FALSE(base58_decode("0OIl").has_value());  // excluded characters
+  EXPECT_FALSE(base58_decode("abc!").has_value());
+}
+
+TEST(Base58, RoundTripsRandomBuffers) {
+  RngStream rng(2, "base58");
+  for (int i = 0; i < 50; ++i) {
+    Bytes data(rng.uniform_index(48));
+    rng.fill_bytes(data.data(), data.size());
+    // Leading zeros are the tricky part — force some.
+    if (i % 3 == 0 && !data.empty()) data[0] = 0;
+    const auto decoded = base58_decode(base58_encode(data));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, data);
+  }
+}
+
+// --- base32 ------------------------------------------------------------
+
+TEST(Base32, EncodesRfc4648Vectors) {
+  // RFC 4648 vectors, lowercased and unpadded.
+  EXPECT_EQ(base32_encode(bytes_of("")), "");
+  EXPECT_EQ(base32_encode(bytes_of("f")), "my");
+  EXPECT_EQ(base32_encode(bytes_of("fo")), "mzxq");
+  EXPECT_EQ(base32_encode(bytes_of("foo")), "mzxw6");
+  EXPECT_EQ(base32_encode(bytes_of("foob")), "mzxw6yq");
+  EXPECT_EQ(base32_encode(bytes_of("fooba")), "mzxw6ytb");
+  EXPECT_EQ(base32_encode(bytes_of("foobar")), "mzxw6ytboi");
+}
+
+TEST(Base32, DecodesBothCases) {
+  EXPECT_EQ(base32_decode("mzxw6ytboi"), bytes_of("foobar"));
+  EXPECT_EQ(base32_decode("MZXW6YTBOI"), bytes_of("foobar"));
+}
+
+TEST(Base32, RejectsInvalidInput) {
+  EXPECT_FALSE(base32_decode("m1").has_value());   // '1' not in alphabet
+  EXPECT_FALSE(base32_decode("m!").has_value());
+  // Non-zero padding bits must be rejected.
+  EXPECT_FALSE(base32_decode("mz").has_value() &&
+               base32_decode("mz") != base32_decode("my"));
+}
+
+TEST(Base32, RoundTripsRandomBuffers) {
+  RngStream rng(3, "base32");
+  for (int i = 0; i < 50; ++i) {
+    Bytes data(rng.uniform_index(48));
+    rng.fill_bytes(data.data(), data.size());
+    const auto decoded = base32_decode(base32_encode(data));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, data);
+  }
+}
+
+// --- rng ---------------------------------------------------------------
+
+TEST(Rng, SameSeedSameName_SameSequence) {
+  RngStream a(42, "stream");
+  RngStream b(42, "stream");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentNames_DifferentSequences) {
+  RngStream a(42, "alpha");
+  RngStream b(42, "beta");
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  RngStream rng(7, "uniform");
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversDomainWithoutBias) {
+  RngStream rng(8, "index");
+  std::vector<int> counts(10, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[rng.uniform_index(10)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, draws / 10, draws / 10 * 0.15);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  RngStream rng(9, "int");
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  RngStream rng(10, "exp");
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.1);
+}
+
+TEST(Rng, NormalHasRequestedMoments) {
+  RngStream rng(11, "normal");
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  RngStream rng(12, "bern");
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ZipfProducesValidRangeAndSkew) {
+  RngStream rng(13, "zipf");
+  std::uint64_t ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t v = rng.zipf(100, 1.2);
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 100u);
+    if (v == 1) ++ones;
+  }
+  // Rank 1 should dominate under Zipf.
+  EXPECT_GT(ones, static_cast<std::uint64_t>(n) / 10);
+}
+
+class ZipfExponent : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfExponent, RankOneIsMostFrequent) {
+  RngStream rng(14, "zipf-p");
+  std::vector<int> counts(51, 0);
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[rng.zipf(50, GetParam())];
+  }
+  for (int rank = 2; rank <= 50; ++rank) {
+    EXPECT_GE(counts[1], counts[rank]) << "rank " << rank;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfExponent,
+                         ::testing::Values(0.8, 1.0, 1.2, 2.0));
+
+TEST(Rng, WeightedIndexFollowsWeights) {
+  RngStream rng(15, "weighted");
+  const std::vector<double> weights{1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(Rng, WeightedIndexRejectsZeroTotal) {
+  RngStream rng(16, "weighted-zero");
+  EXPECT_THROW(rng.weighted_index({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Rng, FillBytesIsDeterministicAndCovering) {
+  RngStream a(17, "fill");
+  RngStream b(17, "fill");
+  std::uint8_t buf_a[37], buf_b[37];
+  a.fill_bytes(buf_a, sizeof(buf_a));
+  b.fill_bytes(buf_b, sizeof(buf_b));
+  EXPECT_EQ(0, std::memcmp(buf_a, buf_b, sizeof(buf_a)));
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  RngStream parent(18, "parent");
+  RngStream child1 = parent.fork("child");
+  RngStream child2 = parent.fork("child");  // forked later: different state
+  EXPECT_NE(child1.next_u64(), child2.next_u64());
+}
+
+// --- strings / time ------------------------------------------------------
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Strings, JoinInvertsSplit) {
+  const std::vector<std::string> parts{"x", "", "y"};
+  EXPECT_EQ(join(parts, ","), "x,,y");
+  EXPECT_EQ(split(join(parts, ","), ','), parts);
+}
+
+TEST(Strings, FormatWorksLikePrintf) {
+  EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(format("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(format("empty"), "empty");
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_right("abcdef", 4), "abcd");
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+}
+
+TEST(Time, ConstantsAreConsistent) {
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+  EXPECT_EQ(kDay, 24 * kHour);
+  EXPECT_EQ(seconds(1.5), kSecond + 500 * kMillisecond);
+  EXPECT_DOUBLE_EQ(to_seconds(kMinute), 60.0);
+  EXPECT_DOUBLE_EQ(to_days(36 * kHour), 1.5);
+}
+
+TEST(Time, FormatsDayHourMinuteSecond) {
+  EXPECT_EQ(format_sim_time(0), "0:00:00:00");
+  EXPECT_EQ(format_sim_time(kDay + 2 * kHour + 3 * kMinute + 4 * kSecond),
+            "1:02:03:04");
+}
+
+}  // namespace
+}  // namespace ipfsmon::util
