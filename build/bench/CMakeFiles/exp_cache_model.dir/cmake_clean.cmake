@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_cache_model.dir/exp_cache_model.cpp.o"
+  "CMakeFiles/exp_cache_model.dir/exp_cache_model.cpp.o.d"
+  "exp_cache_model"
+  "exp_cache_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_cache_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

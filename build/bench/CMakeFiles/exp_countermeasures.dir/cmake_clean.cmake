@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_countermeasures.dir/exp_countermeasures.cpp.o"
+  "CMakeFiles/exp_countermeasures.dir/exp_countermeasures.cpp.o.d"
+  "exp_countermeasures"
+  "exp_countermeasures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_countermeasures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_dedup_stats.dir/exp_dedup_stats.cpp.o"
+  "CMakeFiles/exp_dedup_stats.dir/exp_dedup_stats.cpp.o.d"
+  "exp_dedup_stats"
+  "exp_dedup_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_dedup_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_estimator_accuracy.dir/exp_estimator_accuracy.cpp.o"
+  "CMakeFiles/exp_estimator_accuracy.dir/exp_estimator_accuracy.cpp.o.d"
+  "exp_estimator_accuracy"
+  "exp_estimator_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_estimator_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

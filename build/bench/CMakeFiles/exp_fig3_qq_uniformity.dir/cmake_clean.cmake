@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig3_qq_uniformity.dir/exp_fig3_qq_uniformity.cpp.o"
+  "CMakeFiles/exp_fig3_qq_uniformity.dir/exp_fig3_qq_uniformity.cpp.o.d"
+  "exp_fig3_qq_uniformity"
+  "exp_fig3_qq_uniformity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig3_qq_uniformity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig4_request_types.dir/exp_fig4_request_types.cpp.o"
+  "CMakeFiles/exp_fig4_request_types.dir/exp_fig4_request_types.cpp.o.d"
+  "exp_fig4_request_types"
+  "exp_fig4_request_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig4_request_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

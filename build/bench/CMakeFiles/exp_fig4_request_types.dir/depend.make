@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_fig4_request_types.
+# This may be replaced when dependencies are built.

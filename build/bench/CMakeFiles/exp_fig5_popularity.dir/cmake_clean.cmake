@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig5_popularity.dir/exp_fig5_popularity.cpp.o"
+  "CMakeFiles/exp_fig5_popularity.dir/exp_fig5_popularity.cpp.o.d"
+  "exp_fig5_popularity"
+  "exp_fig5_popularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig5_popularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

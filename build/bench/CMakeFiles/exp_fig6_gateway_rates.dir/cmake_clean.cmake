@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig6_gateway_rates.dir/exp_fig6_gateway_rates.cpp.o"
+  "CMakeFiles/exp_fig6_gateway_rates.dir/exp_fig6_gateway_rates.cpp.o.d"
+  "exp_fig6_gateway_rates"
+  "exp_fig6_gateway_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig6_gateway_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_fig6_gateway_rates.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_gateway_probing.dir/exp_gateway_probing.cpp.o"
+  "CMakeFiles/exp_gateway_probing.dir/exp_gateway_probing.cpp.o.d"
+  "exp_gateway_probing"
+  "exp_gateway_probing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_gateway_probing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_monitor_scaling.dir/exp_monitor_scaling.cpp.o"
+  "CMakeFiles/exp_monitor_scaling.dir/exp_monitor_scaling.cpp.o.d"
+  "exp_monitor_scaling"
+  "exp_monitor_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_monitor_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_network_size.dir/exp_network_size.cpp.o"
+  "CMakeFiles/exp_network_size.dir/exp_network_size.cpp.o.d"
+  "exp_network_size"
+  "exp_network_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_network_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

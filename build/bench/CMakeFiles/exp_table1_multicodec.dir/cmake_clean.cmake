@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table1_multicodec.dir/exp_table1_multicodec.cpp.o"
+  "CMakeFiles/exp_table1_multicodec.dir/exp_table1_multicodec.cpp.o.d"
+  "exp_table1_multicodec"
+  "exp_table1_multicodec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table1_multicodec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table2_geography.dir/exp_table2_geography.cpp.o"
+  "CMakeFiles/exp_table2_geography.dir/exp_table2_geography.cpp.o.d"
+  "exp_table2_geography"
+  "exp_table2_geography.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table2_geography.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

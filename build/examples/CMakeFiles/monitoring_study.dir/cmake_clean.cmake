@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitoring_study.dir/monitoring_study.cpp.o"
+  "CMakeFiles/monitoring_study.dir/monitoring_study.cpp.o.d"
+  "monitoring_study"
+  "monitoring_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitoring_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_attacks.dir/privacy_attacks.cpp.o"
+  "CMakeFiles/privacy_attacks.dir/privacy_attacks.cpp.o.d"
+  "privacy_attacks"
+  "privacy_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

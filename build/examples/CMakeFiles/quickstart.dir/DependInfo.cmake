@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/ipfsmon_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/ipfsmon_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ipfsmon_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/ipfsmon_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ipfsmon_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/ipfsmon_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitswap/CMakeFiles/ipfsmon_bitswap.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/ipfsmon_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ipfsmon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ipfsmon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/ipfsmon_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/cid/CMakeFiles/ipfsmon_cid.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ipfsmon_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ipfsmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("crypto")
+subdirs("cid")
+subdirs("dag")
+subdirs("sim")
+subdirs("net")
+subdirs("dht")
+subdirs("bitswap")
+subdirs("node")
+subdirs("monitor")
+subdirs("trace")
+subdirs("analysis")
+subdirs("attacks")
+subdirs("scenario")

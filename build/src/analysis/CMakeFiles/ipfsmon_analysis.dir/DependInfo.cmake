@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/aggregate.cpp" "src/analysis/CMakeFiles/ipfsmon_analysis.dir/aggregate.cpp.o" "gcc" "src/analysis/CMakeFiles/ipfsmon_analysis.dir/aggregate.cpp.o.d"
+  "/root/repo/src/analysis/cache_model.cpp" "src/analysis/CMakeFiles/ipfsmon_analysis.dir/cache_model.cpp.o" "gcc" "src/analysis/CMakeFiles/ipfsmon_analysis.dir/cache_model.cpp.o.d"
+  "/root/repo/src/analysis/ecdf.cpp" "src/analysis/CMakeFiles/ipfsmon_analysis.dir/ecdf.cpp.o" "gcc" "src/analysis/CMakeFiles/ipfsmon_analysis.dir/ecdf.cpp.o.d"
+  "/root/repo/src/analysis/estimators.cpp" "src/analysis/CMakeFiles/ipfsmon_analysis.dir/estimators.cpp.o" "gcc" "src/analysis/CMakeFiles/ipfsmon_analysis.dir/estimators.cpp.o.d"
+  "/root/repo/src/analysis/ks.cpp" "src/analysis/CMakeFiles/ipfsmon_analysis.dir/ks.cpp.o" "gcc" "src/analysis/CMakeFiles/ipfsmon_analysis.dir/ks.cpp.o.d"
+  "/root/repo/src/analysis/popularity.cpp" "src/analysis/CMakeFiles/ipfsmon_analysis.dir/popularity.cpp.o" "gcc" "src/analysis/CMakeFiles/ipfsmon_analysis.dir/popularity.cpp.o.d"
+  "/root/repo/src/analysis/powerlaw.cpp" "src/analysis/CMakeFiles/ipfsmon_analysis.dir/powerlaw.cpp.o" "gcc" "src/analysis/CMakeFiles/ipfsmon_analysis.dir/powerlaw.cpp.o.d"
+  "/root/repo/src/analysis/qq.cpp" "src/analysis/CMakeFiles/ipfsmon_analysis.dir/qq.cpp.o" "gcc" "src/analysis/CMakeFiles/ipfsmon_analysis.dir/qq.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/ipfsmon_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ipfsmon_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitswap/CMakeFiles/ipfsmon_bitswap.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/ipfsmon_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/ipfsmon_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/cid/CMakeFiles/ipfsmon_cid.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ipfsmon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ipfsmon_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ipfsmon_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipfsmon_analysis.dir/aggregate.cpp.o"
+  "CMakeFiles/ipfsmon_analysis.dir/aggregate.cpp.o.d"
+  "CMakeFiles/ipfsmon_analysis.dir/cache_model.cpp.o"
+  "CMakeFiles/ipfsmon_analysis.dir/cache_model.cpp.o.d"
+  "CMakeFiles/ipfsmon_analysis.dir/ecdf.cpp.o"
+  "CMakeFiles/ipfsmon_analysis.dir/ecdf.cpp.o.d"
+  "CMakeFiles/ipfsmon_analysis.dir/estimators.cpp.o"
+  "CMakeFiles/ipfsmon_analysis.dir/estimators.cpp.o.d"
+  "CMakeFiles/ipfsmon_analysis.dir/ks.cpp.o"
+  "CMakeFiles/ipfsmon_analysis.dir/ks.cpp.o.d"
+  "CMakeFiles/ipfsmon_analysis.dir/popularity.cpp.o"
+  "CMakeFiles/ipfsmon_analysis.dir/popularity.cpp.o.d"
+  "CMakeFiles/ipfsmon_analysis.dir/powerlaw.cpp.o"
+  "CMakeFiles/ipfsmon_analysis.dir/powerlaw.cpp.o.d"
+  "CMakeFiles/ipfsmon_analysis.dir/qq.cpp.o"
+  "CMakeFiles/ipfsmon_analysis.dir/qq.cpp.o.d"
+  "libipfsmon_analysis.a"
+  "libipfsmon_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipfsmon_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

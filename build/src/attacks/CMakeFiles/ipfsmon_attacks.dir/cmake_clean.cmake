@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipfsmon_attacks.dir/content_indexer.cpp.o"
+  "CMakeFiles/ipfsmon_attacks.dir/content_indexer.cpp.o.d"
+  "CMakeFiles/ipfsmon_attacks.dir/gateway_probe.cpp.o"
+  "CMakeFiles/ipfsmon_attacks.dir/gateway_probe.cpp.o.d"
+  "CMakeFiles/ipfsmon_attacks.dir/tpi_prober.cpp.o"
+  "CMakeFiles/ipfsmon_attacks.dir/tpi_prober.cpp.o.d"
+  "CMakeFiles/ipfsmon_attacks.dir/trace_attacks.cpp.o"
+  "CMakeFiles/ipfsmon_attacks.dir/trace_attacks.cpp.o.d"
+  "libipfsmon_attacks.a"
+  "libipfsmon_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipfsmon_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

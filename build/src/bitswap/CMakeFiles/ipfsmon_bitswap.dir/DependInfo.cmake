@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bitswap/client.cpp" "src/bitswap/CMakeFiles/ipfsmon_bitswap.dir/client.cpp.o" "gcc" "src/bitswap/CMakeFiles/ipfsmon_bitswap.dir/client.cpp.o.d"
+  "/root/repo/src/bitswap/engine.cpp" "src/bitswap/CMakeFiles/ipfsmon_bitswap.dir/engine.cpp.o" "gcc" "src/bitswap/CMakeFiles/ipfsmon_bitswap.dir/engine.cpp.o.d"
+  "/root/repo/src/bitswap/message.cpp" "src/bitswap/CMakeFiles/ipfsmon_bitswap.dir/message.cpp.o" "gcc" "src/bitswap/CMakeFiles/ipfsmon_bitswap.dir/message.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ipfsmon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cid/CMakeFiles/ipfsmon_cid.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/ipfsmon_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/dht/CMakeFiles/ipfsmon_dht.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ipfsmon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ipfsmon_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ipfsmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipfsmon_bitswap.dir/client.cpp.o"
+  "CMakeFiles/ipfsmon_bitswap.dir/client.cpp.o.d"
+  "CMakeFiles/ipfsmon_bitswap.dir/engine.cpp.o"
+  "CMakeFiles/ipfsmon_bitswap.dir/engine.cpp.o.d"
+  "CMakeFiles/ipfsmon_bitswap.dir/message.cpp.o"
+  "CMakeFiles/ipfsmon_bitswap.dir/message.cpp.o.d"
+  "libipfsmon_bitswap.a"
+  "libipfsmon_bitswap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipfsmon_bitswap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

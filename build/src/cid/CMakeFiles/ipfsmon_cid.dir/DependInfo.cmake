@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cid/cid.cpp" "src/cid/CMakeFiles/ipfsmon_cid.dir/cid.cpp.o" "gcc" "src/cid/CMakeFiles/ipfsmon_cid.dir/cid.cpp.o.d"
+  "/root/repo/src/cid/multicodec.cpp" "src/cid/CMakeFiles/ipfsmon_cid.dir/multicodec.cpp.o" "gcc" "src/cid/CMakeFiles/ipfsmon_cid.dir/multicodec.cpp.o.d"
+  "/root/repo/src/cid/multihash.cpp" "src/cid/CMakeFiles/ipfsmon_cid.dir/multihash.cpp.o" "gcc" "src/cid/CMakeFiles/ipfsmon_cid.dir/multihash.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ipfsmon_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ipfsmon_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipfsmon_cid.dir/cid.cpp.o"
+  "CMakeFiles/ipfsmon_cid.dir/cid.cpp.o.d"
+  "CMakeFiles/ipfsmon_cid.dir/multicodec.cpp.o"
+  "CMakeFiles/ipfsmon_cid.dir/multicodec.cpp.o.d"
+  "CMakeFiles/ipfsmon_cid.dir/multihash.cpp.o"
+  "CMakeFiles/ipfsmon_cid.dir/multihash.cpp.o.d"
+  "libipfsmon_cid.a"
+  "libipfsmon_cid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipfsmon_cid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ipfsmon_cid.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipfsmon_crypto.dir/keys.cpp.o"
+  "CMakeFiles/ipfsmon_crypto.dir/keys.cpp.o.d"
+  "CMakeFiles/ipfsmon_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/ipfsmon_crypto.dir/sha256.cpp.o.d"
+  "libipfsmon_crypto.a"
+  "libipfsmon_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipfsmon_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

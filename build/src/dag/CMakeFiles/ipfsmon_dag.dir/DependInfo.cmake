@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dag/block.cpp" "src/dag/CMakeFiles/ipfsmon_dag.dir/block.cpp.o" "gcc" "src/dag/CMakeFiles/ipfsmon_dag.dir/block.cpp.o.d"
+  "/root/repo/src/dag/builder.cpp" "src/dag/CMakeFiles/ipfsmon_dag.dir/builder.cpp.o" "gcc" "src/dag/CMakeFiles/ipfsmon_dag.dir/builder.cpp.o.d"
+  "/root/repo/src/dag/chunker.cpp" "src/dag/CMakeFiles/ipfsmon_dag.dir/chunker.cpp.o" "gcc" "src/dag/CMakeFiles/ipfsmon_dag.dir/chunker.cpp.o.d"
+  "/root/repo/src/dag/dag_node.cpp" "src/dag/CMakeFiles/ipfsmon_dag.dir/dag_node.cpp.o" "gcc" "src/dag/CMakeFiles/ipfsmon_dag.dir/dag_node.cpp.o.d"
+  "/root/repo/src/dag/protobuf.cpp" "src/dag/CMakeFiles/ipfsmon_dag.dir/protobuf.cpp.o" "gcc" "src/dag/CMakeFiles/ipfsmon_dag.dir/protobuf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cid/CMakeFiles/ipfsmon_cid.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ipfsmon_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ipfsmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipfsmon_dag.dir/block.cpp.o"
+  "CMakeFiles/ipfsmon_dag.dir/block.cpp.o.d"
+  "CMakeFiles/ipfsmon_dag.dir/builder.cpp.o"
+  "CMakeFiles/ipfsmon_dag.dir/builder.cpp.o.d"
+  "CMakeFiles/ipfsmon_dag.dir/chunker.cpp.o"
+  "CMakeFiles/ipfsmon_dag.dir/chunker.cpp.o.d"
+  "CMakeFiles/ipfsmon_dag.dir/dag_node.cpp.o"
+  "CMakeFiles/ipfsmon_dag.dir/dag_node.cpp.o.d"
+  "CMakeFiles/ipfsmon_dag.dir/protobuf.cpp.o"
+  "CMakeFiles/ipfsmon_dag.dir/protobuf.cpp.o.d"
+  "libipfsmon_dag.a"
+  "libipfsmon_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipfsmon_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dht/crawler.cpp" "src/dht/CMakeFiles/ipfsmon_dht.dir/crawler.cpp.o" "gcc" "src/dht/CMakeFiles/ipfsmon_dht.dir/crawler.cpp.o.d"
+  "/root/repo/src/dht/dht_node.cpp" "src/dht/CMakeFiles/ipfsmon_dht.dir/dht_node.cpp.o" "gcc" "src/dht/CMakeFiles/ipfsmon_dht.dir/dht_node.cpp.o.d"
+  "/root/repo/src/dht/key.cpp" "src/dht/CMakeFiles/ipfsmon_dht.dir/key.cpp.o" "gcc" "src/dht/CMakeFiles/ipfsmon_dht.dir/key.cpp.o.d"
+  "/root/repo/src/dht/provider_store.cpp" "src/dht/CMakeFiles/ipfsmon_dht.dir/provider_store.cpp.o" "gcc" "src/dht/CMakeFiles/ipfsmon_dht.dir/provider_store.cpp.o.d"
+  "/root/repo/src/dht/routing_table.cpp" "src/dht/CMakeFiles/ipfsmon_dht.dir/routing_table.cpp.o" "gcc" "src/dht/CMakeFiles/ipfsmon_dht.dir/routing_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ipfsmon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cid/CMakeFiles/ipfsmon_cid.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ipfsmon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ipfsmon_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ipfsmon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipfsmon_dht.dir/crawler.cpp.o"
+  "CMakeFiles/ipfsmon_dht.dir/crawler.cpp.o.d"
+  "CMakeFiles/ipfsmon_dht.dir/dht_node.cpp.o"
+  "CMakeFiles/ipfsmon_dht.dir/dht_node.cpp.o.d"
+  "CMakeFiles/ipfsmon_dht.dir/key.cpp.o"
+  "CMakeFiles/ipfsmon_dht.dir/key.cpp.o.d"
+  "CMakeFiles/ipfsmon_dht.dir/provider_store.cpp.o"
+  "CMakeFiles/ipfsmon_dht.dir/provider_store.cpp.o.d"
+  "CMakeFiles/ipfsmon_dht.dir/routing_table.cpp.o"
+  "CMakeFiles/ipfsmon_dht.dir/routing_table.cpp.o.d"
+  "libipfsmon_dht.a"
+  "libipfsmon_dht.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipfsmon_dht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipfsmon_monitor.dir/active_monitor.cpp.o"
+  "CMakeFiles/ipfsmon_monitor.dir/active_monitor.cpp.o.d"
+  "CMakeFiles/ipfsmon_monitor.dir/passive_monitor.cpp.o"
+  "CMakeFiles/ipfsmon_monitor.dir/passive_monitor.cpp.o.d"
+  "libipfsmon_monitor.a"
+  "libipfsmon_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipfsmon_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

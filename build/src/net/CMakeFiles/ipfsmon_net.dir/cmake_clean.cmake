@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipfsmon_net.dir/address.cpp.o"
+  "CMakeFiles/ipfsmon_net.dir/address.cpp.o.d"
+  "CMakeFiles/ipfsmon_net.dir/geo.cpp.o"
+  "CMakeFiles/ipfsmon_net.dir/geo.cpp.o.d"
+  "CMakeFiles/ipfsmon_net.dir/network.cpp.o"
+  "CMakeFiles/ipfsmon_net.dir/network.cpp.o.d"
+  "libipfsmon_net.a"
+  "libipfsmon_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipfsmon_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipfsmon_node.dir/blockstore.cpp.o"
+  "CMakeFiles/ipfsmon_node.dir/blockstore.cpp.o.d"
+  "CMakeFiles/ipfsmon_node.dir/gateway.cpp.o"
+  "CMakeFiles/ipfsmon_node.dir/gateway.cpp.o.d"
+  "CMakeFiles/ipfsmon_node.dir/ipfs_node.cpp.o"
+  "CMakeFiles/ipfsmon_node.dir/ipfs_node.cpp.o.d"
+  "libipfsmon_node.a"
+  "libipfsmon_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipfsmon_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipfsmon_scenario.dir/catalog.cpp.o"
+  "CMakeFiles/ipfsmon_scenario.dir/catalog.cpp.o.d"
+  "CMakeFiles/ipfsmon_scenario.dir/gateway_fleet.cpp.o"
+  "CMakeFiles/ipfsmon_scenario.dir/gateway_fleet.cpp.o.d"
+  "CMakeFiles/ipfsmon_scenario.dir/population.cpp.o"
+  "CMakeFiles/ipfsmon_scenario.dir/population.cpp.o.d"
+  "CMakeFiles/ipfsmon_scenario.dir/study.cpp.o"
+  "CMakeFiles/ipfsmon_scenario.dir/study.cpp.o.d"
+  "CMakeFiles/ipfsmon_scenario.dir/version_model.cpp.o"
+  "CMakeFiles/ipfsmon_scenario.dir/version_model.cpp.o.d"
+  "libipfsmon_scenario.a"
+  "libipfsmon_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipfsmon_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

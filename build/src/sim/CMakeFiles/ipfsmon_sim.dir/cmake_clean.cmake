@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipfsmon_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/ipfsmon_sim.dir/scheduler.cpp.o.d"
+  "libipfsmon_sim.a"
+  "libipfsmon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipfsmon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libipfsmon_sim.a"
+)

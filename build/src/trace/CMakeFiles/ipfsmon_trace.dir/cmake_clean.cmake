@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipfsmon_trace.dir/io.cpp.o"
+  "CMakeFiles/ipfsmon_trace.dir/io.cpp.o.d"
+  "CMakeFiles/ipfsmon_trace.dir/preprocess.cpp.o"
+  "CMakeFiles/ipfsmon_trace.dir/preprocess.cpp.o.d"
+  "CMakeFiles/ipfsmon_trace.dir/trace.cpp.o"
+  "CMakeFiles/ipfsmon_trace.dir/trace.cpp.o.d"
+  "libipfsmon_trace.a"
+  "libipfsmon_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipfsmon_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipfsmon_util.dir/base32.cpp.o"
+  "CMakeFiles/ipfsmon_util.dir/base32.cpp.o.d"
+  "CMakeFiles/ipfsmon_util.dir/base58.cpp.o"
+  "CMakeFiles/ipfsmon_util.dir/base58.cpp.o.d"
+  "CMakeFiles/ipfsmon_util.dir/bytes.cpp.o"
+  "CMakeFiles/ipfsmon_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/ipfsmon_util.dir/rng.cpp.o"
+  "CMakeFiles/ipfsmon_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ipfsmon_util.dir/strings.cpp.o"
+  "CMakeFiles/ipfsmon_util.dir/strings.cpp.o.d"
+  "CMakeFiles/ipfsmon_util.dir/varint.cpp.o"
+  "CMakeFiles/ipfsmon_util.dir/varint.cpp.o.d"
+  "libipfsmon_util.a"
+  "libipfsmon_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipfsmon_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

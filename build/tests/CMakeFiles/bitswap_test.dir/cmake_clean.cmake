@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitswap_test.dir/bitswap_test.cpp.o"
+  "CMakeFiles/bitswap_test.dir/bitswap_test.cpp.o.d"
+  "bitswap_test"
+  "bitswap_test.pdb"
+  "bitswap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitswap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

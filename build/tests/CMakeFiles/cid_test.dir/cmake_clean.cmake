@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cid_test.dir/cid_test.cpp.o"
+  "CMakeFiles/cid_test.dir/cid_test.cpp.o.d"
+  "cid_test"
+  "cid_test.pdb"
+  "cid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
