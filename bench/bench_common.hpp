@@ -4,6 +4,9 @@
 // reports, alongside the paper's value where applicable.
 #pragma once
 
+#include <sys/resource.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -11,6 +14,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/exporters.hpp"
 #include "util/strings.hpp"
 
 namespace ipfsmon::bench {
@@ -72,6 +76,49 @@ inline void print_comparison(std::string_view metric, std::string_view paper,
 inline void print_comparison(std::string_view metric, double paper,
                              double measured, const char* fmt = "%.2f") {
   print_comparison(metric, util::format(fmt, paper), util::format(fmt, measured));
+}
+
+/// Wall-clock timer for the run footer every experiment prints at exit.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Peak resident set size of this process, in MiB (getrusage; ru_maxrss is
+/// KiB on Linux). 0 when the syscall fails.
+inline double peak_rss_mib() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+/// The uniform experiment footer: wall time + peak memory.
+inline void print_run_footer(const Stopwatch& watch) {
+  std::printf("\n[run] wall %.2f s, peak rss %.1f MiB\n", watch.seconds(),
+              peak_rss_mib());
+}
+
+/// Writes the collector's ring as `<argv0>.metrics.jsonl` next to the
+/// binary and reports the path. No-op when metrics collection is off.
+inline void write_metrics_sidecar(const obs::Collector* collector,
+                                  std::string_view argv0) {
+  if (collector == nullptr) return;
+  const std::string path = std::string(argv0) + ".metrics.jsonl";
+  if (obs::write_jsonl(*collector, path)) {
+    std::printf("[run] metrics sidecar: %s (%zu samples)\n", path.c_str(),
+                collector->samples().size());
+  } else {
+    std::fprintf(stderr, "[run] failed to write metrics sidecar %s\n",
+                 path.c_str());
+  }
 }
 
 }  // namespace ipfsmon::bench

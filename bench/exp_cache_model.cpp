@@ -18,6 +18,7 @@ using namespace ipfsmon;
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
+  const bench::Stopwatch stopwatch;
   scenario::StudyConfig config;
   config.seed = flags.get_u64("seed", 42);
   config.population.node_count = static_cast<std::size_t>(flags.get("nodes", 300));
@@ -65,5 +66,7 @@ int main(int argc, char** argv) {
               "  of repeat requests — the skew the paper measures is what\n"
               "  makes Cloudflare-style 97%% hit ratios attainable.\n",
               100.0 * p50.hit_ratio);
+  bench::write_metrics_sidecar(study.collector(), argv[0]);
+  bench::print_run_footer(stopwatch);
   return 0;
 }

@@ -105,6 +105,7 @@ Row run_scenario(const std::string& name, scenario::StudyConfig config) {
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
+  const bench::Stopwatch stopwatch;
   scenario::StudyConfig base;
   base.seed = flags.get_u64("seed", 42);
   base.population.node_count = static_cast<std::size_t>(flags.get("nodes", 250));
@@ -171,5 +172,6 @@ int main(int argc, char** argv) {
       "                 wanters now include decoys (plausible deniability).\n"
       "  dht-only:      monitors see almost nothing; the cost is paid in\n"
       "                 robustness, not visible in this table (cf. paper).\n");
+  bench::print_run_footer(stopwatch);
   return 0;
 }

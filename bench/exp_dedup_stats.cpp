@@ -14,6 +14,7 @@ using namespace ipfsmon;
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
+  const bench::Stopwatch stopwatch;
   scenario::StudyConfig config;
   config.seed = flags.get_u64("seed", 42);
   config.population.node_count = static_cast<std::size_t>(flags.get("nodes", 400));
@@ -65,5 +66,7 @@ int main(int argc, char** argv) {
   std::printf("\n  expectation: the share saturates just above the 30 s\n"
               "  re-broadcast period — the paper's 31 s window sits exactly\n"
               "  at that knee.\n");
+  bench::write_metrics_sidecar(study.collector(), argv[0]);
+  bench::print_run_footer(stopwatch);
   return 0;
 }

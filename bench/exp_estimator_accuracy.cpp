@@ -76,6 +76,7 @@ Row run_cell(util::RngStream& rng, std::size_t n, std::size_t r,
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
+  const bench::Stopwatch stopwatch;
   util::RngStream rng(flags.get_u64("seed", 42), "estimator-ablation");
   const std::size_t trials = flags.get_u64("trials", 30);
 
@@ -114,5 +115,6 @@ int main(int argc, char** argv) {
               "  overlap more than uniform draws would, so both estimators\n"
               "  UNDERESTIMATE N — exactly the direction the paper observes\n"
               "  (monitor estimate ~10.5k vs crawl ~14.4k).\n");
+  bench::print_run_footer(stopwatch);
   return 0;
 }

@@ -18,6 +18,7 @@ using namespace ipfsmon;
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
+  const bench::Stopwatch stopwatch;
   scenario::StudyConfig config;
   config.seed = flags.get_u64("seed", 42);
   config.population.node_count = static_cast<std::size_t>(flags.get("nodes", 500));
@@ -74,5 +75,7 @@ int main(int argc, char** argv) {
               ks < 2.0 * noise_floor
                   ? "CLOSE TO UNIFORM (matches paper)"
                   : "DEVIATES FROM UNIFORM (mismatch!)");
+  bench::write_metrics_sidecar(study.collector(), argv[0]);
+  bench::print_run_footer(stopwatch);
   return 0;
 }

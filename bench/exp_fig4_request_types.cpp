@@ -14,6 +14,7 @@ using namespace ipfsmon;
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
+  const bench::Stopwatch stopwatch;
   const double days = flags.get("days", 28.0);
 
   scenario::StudyConfig config;
@@ -104,5 +105,7 @@ int main(int argc, char** argv) {
               "(paper: unexplained early-August spike on both monitors)\n",
               static_cast<unsigned long long>(spike_day),
               static_cast<unsigned long long>(spike_total));
+  bench::write_metrics_sidecar(study.collector(), argv[0]);
+  bench::print_run_footer(stopwatch);
   return 0;
 }

@@ -44,6 +44,7 @@ void run_powerlaw(const char* name, const std::vector<double>& values,
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
+  const bench::Stopwatch stopwatch;
   scenario::StudyConfig config;
   config.seed = flags.get_u64("seed", 42);
   config.population.node_count = static_cast<std::size_t>(flags.get("nodes", 600));
@@ -105,5 +106,7 @@ int main(int argc, char** argv) {
               rrp_unresolvable);
   std::printf("  top-10 URP resolvable:   %zu/10 (paper: all ten resolvable)\n",
               urp_resolvable);
+  bench::write_metrics_sidecar(study.collector(), argv[0]);
+  bench::print_run_footer(stopwatch);
   return 0;
 }

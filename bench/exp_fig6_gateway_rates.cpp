@@ -20,6 +20,7 @@ using namespace ipfsmon;
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
+  const bench::Stopwatch stopwatch;
   scenario::StudyConfig config;
   config.seed = flags.get_u64("seed", 42);
   config.population.node_count = static_cast<std::size_t>(flags.get("nodes", 500));
@@ -129,5 +130,7 @@ int main(int argc, char** argv) {
   }
   bench::print_comparison("Cloudflare cache-hit ratio (paper: 0.97)", 0.97,
                           cf_http > 0 ? cf_hits / cf_http : 0.0);
+  bench::write_metrics_sidecar(study.collector(), argv[0]);
+  bench::print_run_footer(stopwatch);
   return 0;
 }

@@ -18,6 +18,7 @@ using namespace ipfsmon;
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
+  const bench::Stopwatch stopwatch;
   scenario::StudyConfig config;
   config.seed = flags.get_u64("seed", 42);
   config.population.node_count = static_cast<std::size_t>(flags.get("nodes", 300));
@@ -124,5 +125,7 @@ int main(int argc, char** argv) {
   std::printf("  discovered gateway nodes also present in monitor peer "
               "lists: %zu/%zu\n", seen_by_monitors,
               census.total_gateway_nodes());
+  bench::write_metrics_sidecar(study.collector(), argv[0]);
+  bench::print_run_footer(stopwatch);
   return 0;
 }

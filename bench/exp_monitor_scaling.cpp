@@ -53,6 +53,7 @@ Row run(const std::string& label, scenario::StudyConfig config) {
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
+  const bench::Stopwatch stopwatch;
   scenario::StudyConfig base;
   base.seed = flags.get_u64("seed", 42);
   base.population.node_count = static_cast<std::size_t>(flags.get("nodes", 450));
@@ -104,5 +105,6 @@ int main(int argc, char** argv) {
       "    as r grows;\n"
       "  * active discovery beats passive r=2 on coverage, at the cost of\n"
       "    being detectable (crawl + mass dialing is not regular behavior).\n");
+  bench::print_run_footer(stopwatch);
   return 0;
 }

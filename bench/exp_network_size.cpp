@@ -22,6 +22,7 @@ using namespace ipfsmon;
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
+  const bench::Stopwatch stopwatch;
   scenario::StudyConfig config;
   config.seed = flags.get_u64("seed", 42);
   config.population.node_count = static_cast<std::size_t>(flags.get("nodes", 700));
@@ -135,5 +136,7 @@ int main(int argc, char** argv) {
     std::printf("  NAT'd DHT clients observed by monitors: %zu "
                 "(crawler can see none of these)\n", clients_seen);
   }
+  bench::write_metrics_sidecar(study.collector(), argv[0]);
+  bench::print_run_footer(stopwatch);
   return 0;
 }

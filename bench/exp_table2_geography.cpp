@@ -12,6 +12,7 @@ using namespace ipfsmon;
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
+  const bench::Stopwatch stopwatch;
   scenario::StudyConfig config;
   config.seed = flags.get_u64("seed", 42);
   config.population.node_count = static_cast<std::size_t>(flags.get("nodes", 500));
@@ -70,5 +71,7 @@ int main(int argc, char** argv) {
               share_of("NL") > share_of("CA") && share_of("DE") > share_of("FR")
                   ? "YES (matches)"
                   : "NO (mismatch!)");
+  bench::write_metrics_sidecar(study.collector(), argv[0]);
+  bench::print_run_footer(stopwatch);
   return 0;
 }

@@ -9,6 +9,7 @@
 #include "cid/cid.hpp"
 #include "crypto/sha256.hpp"
 #include "dht/routing_table.hpp"
+#include "scenario/study.hpp"
 #include "trace/preprocess.hpp"
 #include "util/base58.hpp"
 #include "util/rng.hpp"
@@ -110,6 +111,23 @@ void BM_CommitteeEstimator(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CommitteeEstimator);
+
+// End-to-end sim with metrics collection off (arg 0) vs on at the default
+// cadence (arg 1) — guards the <5% observability-overhead budget.
+void BM_EndToEndSim(benchmark::State& state) {
+  for (auto _ : state) {
+    scenario::StudyConfig config;
+    config.population.node_count = 120;
+    config.population.stable_server_count = 8;
+    config.warmup = 2 * util::kHour;
+    config.duration = 12 * util::kHour;
+    config.collect_metrics = state.range(0) != 0;
+    scenario::MonitoringStudy study(std::move(config));
+    study.run();
+    benchmark::DoNotOptimize(study.monitor(0).recorded().size());
+  }
+}
+BENCHMARK(BM_EndToEndSim)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_PowerLawAlphaFit(benchmark::State& state) {
   util::RngStream rng(5, "bmpl");

@@ -1,15 +1,18 @@
 // A miniature end-to-end monitoring study (paper Sec. V): churned
 // population + gateways + two passive monitors, one simulated day, followed
 // by the full analysis pipeline — coverage, size estimates, dedup stats,
-// popularity, and per-country activity.
+// popularity, and per-country activity. At exit the obs registry is dumped
+// in Prometheus text format and the collector ring as a JSONL sidecar.
 //
 // Usage: monitoring_study [nodes] [hours] [seed]
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
 #include "analysis/aggregate.hpp"
 #include "analysis/estimators.hpp"
 #include "analysis/popularity.hpp"
+#include "obs/exporters.hpp"
 #include "scenario/study.hpp"
 #include "trace/preprocess.hpp"
 
@@ -25,6 +28,7 @@ int main(int argc, char** argv) {
       hours * static_cast<double>(util::kHour));
   config.warmup = 6 * util::kHour;
   config.catalog.item_count = 6000;
+  config.progress_heartbeat = true;
 
   std::printf("running study: %zu nodes, %.0f h measurement, seed %llu\n",
               config.population.node_count, hours,
@@ -60,11 +64,26 @@ int main(int argc, char** argv) {
   }
   std::printf("mean union of monitor peer sets: %.0f\n",
               estimates.mean_union_size);
+  auto& registry = study.obs().metrics;
   for (std::size_t i = 0; i < estimates.mean_set_sizes.size(); ++i) {
     std::printf("monitor %zu mean peers: %.0f  (coverage of online: %.0f%%)\n",
                 i, estimates.mean_set_sizes[i],
                 100.0 * estimates.mean_set_sizes[i] /
                     static_cast<double>(truly_online));
+    // The monitor's live coverage gauge is computed over the same
+    // snapshots the analysis pipeline consumes — cross-check they agree.
+    const auto* info = registry.find(
+        "ipfsmon_monitor_coverage_mean_peers",
+        "monitor=\"" + std::to_string(i) + "\"");
+    if (info != nullptr) {
+      const double gauge = registry.gauge_at(info->slot).value();
+      std::printf("  coverage gauge agrees with analysis: %s "
+                  "(gauge %.2f vs pipeline %.2f)\n",
+                  std::fabs(gauge - estimates.mean_set_sizes[i]) <= 1.0
+                      ? "YES"
+                      : "NO (mismatch!)",
+                  gauge, estimates.mean_set_sizes[i]);
+    }
   }
 
   // --- Trace preprocessing --------------------------------------------------
@@ -97,6 +116,18 @@ int main(int argc, char** argv) {
     std::printf("\ngateway fleet: %llu HTTP requests, cache hit ratio %.1f%%\n",
                 static_cast<unsigned long long>(fleet->http_requests_issued()),
                 100.0 * fleet->cache_hit_ratio());
+  }
+
+  // --- Observability dump -----------------------------------------------------
+  std::printf("\nmetrics (prometheus text exposition):\n%s",
+              obs::to_prometheus(registry).c_str());
+  if (const auto* collector = study.collector()) {
+    const std::string sidecar = std::string(argv[0]) + ".metrics.jsonl";
+    if (obs::write_jsonl(*collector, sidecar)) {
+      std::printf("metrics sidecar: %s (%zu samples, %zu dropped)\n",
+                  sidecar.c_str(), collector->samples().size(),
+                  static_cast<std::size_t>(collector->samples_dropped()));
+    }
   }
   return 0;
 }

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the full test suite, then
+# rebuild the obs suite under AddressSanitizer and run `ctest -L obs`.
+#
+# Usage: scripts/check.sh [--no-asan]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+RUN_ASAN=1
+if [[ "${1:-}" == "--no-asan" ]]; then
+  RUN_ASAN=0
+fi
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure
+
+if [[ "$RUN_ASAN" == "1" ]]; then
+  echo "== asan: obs suite under -DIPFSMON_SANITIZE=address =="
+  cmake -B build-asan -S . -DIPFSMON_SANITIZE=address >/dev/null
+  cmake --build build-asan -j "$JOBS" --target obs_test
+  ctest --test-dir build-asan -L obs --output-on-failure
+fi
+
+echo "== all checks passed =="

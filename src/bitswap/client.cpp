@@ -11,7 +11,32 @@ BitswapClient::BitswapClient(net::Network& network, const crypto::PeerId& self,
       self_(self),
       config_(config),
       search_(std::move(search)),
-      rng_(std::move(rng)) {}
+      rng_(std::move(rng)) {
+  auto& m = network_.obs().metrics;
+  metrics_.want_messages = &m.counter("ipfsmon_bitswap_want_messages_total",
+                                      "Bitswap messages carrying want entries");
+  metrics_.want_have = &m.counter("ipfsmon_bitswap_want_have_sent_total",
+                                  "WANT_HAVE entries sent");
+  metrics_.want_block = &m.counter("ipfsmon_bitswap_want_block_sent_total",
+                                   "WANT_BLOCK entries sent");
+  metrics_.cancels =
+      &m.counter("ipfsmon_bitswap_cancels_sent_total", "CANCEL messages sent");
+  metrics_.rebroadcast_rounds =
+      &m.counter("ipfsmon_bitswap_rebroadcast_rounds_total",
+                 "30 s re-broadcast timer fires");
+  metrics_.fetches_started =
+      &m.counter("ipfsmon_bitswap_fetches_started_total", "Fetches started");
+  metrics_.fetches_completed = &m.counter(
+      "ipfsmon_bitswap_fetches_completed_total", "Fetches completed");
+  metrics_.fetches_failed = &m.counter("ipfsmon_bitswap_fetches_failed_total",
+                                       "Fetches failed or timed out");
+  metrics_.provider_searches = &m.counter(
+      "ipfsmon_bitswap_provider_searches_total", "DHT provider searches");
+  metrics_.fetch_duration = &m.histogram(
+      "ipfsmon_bitswap_fetch_duration_seconds",
+      {0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0},
+      "Sim-time duration of completed fetches");
+}
 
 SessionId BitswapClient::create_session() {
   const SessionId id = next_session_++;
@@ -38,10 +63,12 @@ void BitswapClient::fetch(const cid::Cid& cid, SessionId session,
     return;
   }
   ++stats_.fetches_started;
+  metrics_.fetches_started->inc();
 
   auto state = std::make_shared<WantState>();
   state->cid = cid;
   state->session = session;
+  state->started = network_.scheduler().now();
   if (on_done) state->callbacks.push_back(std::move(on_done));
   // A populated session scopes the request; an empty/no session broadcasts
   // (the root request of a DAG download is always a broadcast).
@@ -104,6 +131,9 @@ void BitswapClient::send_want(const WantStatePtr& state,
   network_.send(conn, self_, std::move(msg));
   state->told.insert(peer);
   ++stats_.want_messages_sent;
+  metrics_.want_messages->inc();
+  (type == WantType::WantBlock ? metrics_.want_block : metrics_.want_have)
+      ->inc();
 }
 
 void BitswapClient::broadcast_want(const WantStatePtr& state) {
@@ -177,6 +207,7 @@ void BitswapClient::start_provider_search(const WantStatePtr& state) {
   if (!search_ || state->provider_search_running || state->done) return;
   state->provider_search_running = true;
   ++stats_.provider_searches;
+  metrics_.provider_searches->inc();
   search_(state->cid, [this, state](std::vector<dht::PeerRecord> providers) {
     state->provider_search_running = false;
     if (state->done || shut_down_) return;
@@ -211,6 +242,7 @@ void BitswapClient::start_provider_search(const WantStatePtr& state) {
 void BitswapClient::on_rebroadcast(const WantStatePtr& state) {
   if (state->done) return;
   ++stats_.rebroadcast_rounds;
+  metrics_.rebroadcast_rounds->inc();
   broadcast_want(state);
   // Fig. 1's idle loop also re-searches the DHT while stalled.
   if (!state->block_in_flight && state->candidates.empty()) {
@@ -241,6 +273,7 @@ void BitswapClient::send_cancels(const WantStatePtr& state) {
         build_entry(state->cid, WantType::Cancel, false, /*allow_salted=*/true));
     network_.send(*conn, self_, std::move(msg));
     ++stats_.cancels_sent;
+    metrics_.cancels->inc();
   }
   state->told.clear();
 }
@@ -256,6 +289,9 @@ void BitswapClient::complete(const WantStatePtr& state,
   send_cancels(state);
   active_.erase(state->cid);
   ++stats_.fetches_completed;
+  metrics_.fetches_completed->inc();
+  metrics_.fetch_duration->observe(
+      util::to_seconds(network_.scheduler().now() - state->started));
   for (auto& cb : state->callbacks) {
     if (cb) cb(block);
   }
@@ -271,6 +307,7 @@ void BitswapClient::fail(const WantStatePtr& state) {
   send_cancels(state);
   active_.erase(state->cid);
   ++stats_.fetches_failed;
+  metrics_.fetches_failed->inc();
   for (auto& cb : state->callbacks) {
     if (cb) cb(nullptr);
   }
@@ -298,9 +335,13 @@ void BitswapClient::on_peer_connected(net::ConnectionId conn,
     told.push_back(state);
   }
   if (msg->entries.empty()) return;
+  const std::size_t entry_count = msg->entries.size();
   network_.send(conn, self_, std::move(msg));
   for (const auto& state : told) state->told.insert(peer);
   ++stats_.want_messages_sent;
+  metrics_.want_messages->inc();
+  (type == WantType::WantBlock ? metrics_.want_block : metrics_.want_have)
+      ->inc(entry_count);
 }
 
 void BitswapClient::shutdown() {

@@ -128,6 +128,7 @@ class BitswapClient {
     std::optional<crypto::PeerId> block_in_flight;
     bool provider_search_running = false;
     bool done = false;
+    util::SimTime started = 0;  // for the fetch-duration histogram
     sim::EventHandle rebroadcast_timer;
     sim::EventHandle provider_delay_timer;
     sim::EventHandle block_timeout_timer;
@@ -156,6 +157,21 @@ class BitswapClient {
   ClientConfig config_;
   ProviderSearchFn search_;
   util::RngStream rng_;
+
+  // Network-wide obs instruments (shared across all clients on the same
+  // network; grabbed once at construction, bumped inline on hot paths).
+  struct Instruments {
+    obs::Counter* want_messages = nullptr;
+    obs::Counter* want_have = nullptr;
+    obs::Counter* want_block = nullptr;
+    obs::Counter* cancels = nullptr;
+    obs::Counter* rebroadcast_rounds = nullptr;
+    obs::Counter* fetches_started = nullptr;
+    obs::Counter* fetches_completed = nullptr;
+    obs::Counter* fetches_failed = nullptr;
+    obs::Counter* provider_searches = nullptr;
+    obs::Histogram* fetch_duration = nullptr;
+  } metrics_;
 
   std::unordered_map<cid::Cid, WantStatePtr> active_;
   std::unordered_map<SessionId, std::unordered_set<crypto::PeerId>> sessions_;

@@ -7,7 +7,20 @@ BitswapEngine::BitswapEngine(net::Network& network, const crypto::PeerId& self,
     : network_(network),
       self_(self),
       lookup_(std::move(lookup)),
-      enumerator_(std::move(enumerator)) {}
+      enumerator_(std::move(enumerator)) {
+  auto& reg = network_.obs().metrics;
+  metrics_.messages_handled = &reg.counter(
+      "ipfsmon_bitswap_engine_messages_total",
+      "Inbound Bitswap messages processed by decision engines");
+  metrics_.blocks_served = &reg.counter("ipfsmon_bitswap_blocks_served_total",
+                                        "Blocks served to remote peers");
+  metrics_.presences_sent =
+      &reg.counter("ipfsmon_bitswap_presences_sent_total",
+                   "HAVE/DONT_HAVE presences sent to remote peers");
+  metrics_.salted_hashes =
+      &reg.counter("ipfsmon_bitswap_salted_hashes_total",
+                   "Hashes computed resolving salted-CID requests");
+}
 
 std::optional<cid::Cid> BitswapEngine::resolve_salted(const WantEntry& entry) {
   if (!enumerator_) return std::nullopt;
@@ -15,6 +28,7 @@ std::optional<cid::Cid> BitswapEngine::resolve_salted(const WantEntry& entry) {
   // per salted request — an amplification surface for denial of service.
   for (const cid::Cid& candidate : enumerator_()) {
     ++salted_hashes_computed_;
+    metrics_.salted_hashes->inc();
     if (salted_cid_hash(candidate, entry.salt) == entry.salted_hash) {
       return candidate;
     }
@@ -34,6 +48,7 @@ void BitswapEngine::handle_message(net::ConnectionId conn,
                                    const crypto::PeerId& from,
                                    const BitswapMessage& message) {
   if (listener_) listener_(from, conn, message);
+  metrics_.messages_handled->inc();
 
   auto& ledger = ledgers_[from];
   if (message.full_wantlist) {
@@ -70,14 +85,17 @@ void BitswapEngine::handle_message(net::ConnectionId conn,
       if (entry.type == WantType::WantBlock) {
         response->blocks.push_back(block);
         ++blocks_served_;
+        metrics_.blocks_served->inc();
       } else {
         response->presences.push_back(BlockPresence{entry.cid, true});
         ++presences_sent_;
+        metrics_.presences_sent->inc();
       }
     } else if (entry.send_dont_have) {
       // Negative responses are optional in the protocol; we honor the flag.
       response->presences.push_back(BlockPresence{entry.cid, false});
       ++presences_sent_;
+      metrics_.presences_sent->inc();
     }
   }
   reply(conn, std::move(response));
@@ -113,9 +131,11 @@ void BitswapEngine::notify_new_block(const dag::BlockPtr& block) {
     if (eit->second.type == WantType::WantBlock) {
       msg->blocks.push_back(block);
       ++blocks_served_;
+      metrics_.blocks_served->inc();
     } else {
       msg->presences.push_back(BlockPresence{block->id(), true});
       ++presences_sent_;
+      metrics_.presences_sent->inc();
     }
     reply(*conn, std::move(msg));
   }

@@ -81,6 +81,15 @@ class BitswapEngine {
   bool serve_blocks_ = true;
   std::uint64_t salted_hashes_computed_ = 0;
 
+  // Network-wide obs instruments (shared across all engines on the same
+  // network; grabbed once at construction, bumped inline on hot paths).
+  struct Instruments {
+    obs::Counter* messages_handled = nullptr;
+    obs::Counter* blocks_served = nullptr;
+    obs::Counter* presences_sent = nullptr;
+    obs::Counter* salted_hashes = nullptr;
+  } metrics_;
+
   // peer -> (cid -> entry); ordered inner map keeps test output stable.
   std::unordered_map<crypto::PeerId, std::map<cid::Cid, LedgerEntry>> ledgers_;
   // cid -> peers wanting it (inverse index for notify_new_block).

@@ -65,6 +65,16 @@ struct BitswapMessage : net::Payload {
   /// True when the entries replace the receiver's ledger for this sender
   /// (sent on new connections).
   bool full_wantlist = false;
+
+  std::size_t wire_size() const override {
+    // Protobuf-ish estimate: ~40 B per want entry (CID + flags), ~38 B per
+    // presence, block payloads at face value plus framing.
+    std::size_t size = 8 + entries.size() * 40 + presences.size() * 38;
+    for (const auto& block : blocks) {
+      size += 40 + (block != nullptr ? block->data().size() : 0);
+    }
+    return size;
+  }
 };
 
 using BitswapMessagePtr = std::shared_ptr<const BitswapMessage>;

@@ -43,7 +43,18 @@ DhtNode::DhtNode(net::Network& network, const crypto::PeerId& self,
       config_(config),
       rng_(std::move(rng)),
       table_(self, config.bucket_size),
-      provider_store_(config.provider_ttl) {}
+      provider_store_(config.provider_ttl) {
+  auto& reg = network_.obs().metrics;
+  metrics_.lookups = &reg.counter("ipfsmon_dht_lookups_total",
+                                  "Iterative DHT lookups started");
+  metrics_.rpcs =
+      &reg.counter("ipfsmon_dht_rpcs_sent_total", "DHT request RPCs sent");
+  metrics_.rpc_timeouts = &reg.counter("ipfsmon_dht_rpc_timeouts_total",
+                                       "DHT RPCs that expired unanswered");
+  metrics_.table_entries =
+      &reg.gauge("ipfsmon_dht_routing_table_entries",
+                 "Routing-table entries summed over all DHT nodes");
+}
 
 void DhtNode::start() {
   if (running_) return;
@@ -89,7 +100,7 @@ void DhtNode::bootstrap(const std::vector<crypto::PeerId>& seeds) {
 void DhtNode::handle_message(net::ConnectionId conn, const crypto::PeerId& from,
                              const DhtMessage& msg) {
   if (!running_) return;
-  if (msg.sender_is_server) table_.add(from);
+  if (msg.sender_is_server) mutate_table([&] { table_.add(from); });
 
   switch (msg.type) {
     case DhtMessage::Type::Ping: {
@@ -156,9 +167,20 @@ void DhtNode::send_request(const crypto::PeerId& to,
   msg->sender_is_server = config_.server_mode;
   const std::uint64_t id = msg->request_id;
   ++rpcs_sent_;
+  metrics_.rpcs->inc();
 
   sim::EventHandle timeout = network_.scheduler().schedule_after(
-      config_.rpc_timeout, [this, id]() { fail_pending(id); });
+      config_.rpc_timeout, [this, id]() {
+        metrics_.rpc_timeouts->inc();
+        if (auto& events = network_.obs().events; events.active()) {
+          const auto it = pending_.find(id);
+          if (it != pending_.end()) {
+            events.emit(network_.scheduler().now(), obs::Severity::kDebug,
+                        "dht", "rpc timeout to " + it->second.peer.short_hex());
+          }
+        }
+        fail_pending(id);
+      });
   pending_[id] = Pending{std::move(on_reply), timeout, to};
 
   const auto existing = network_.connection_between(self_, to);
@@ -172,7 +194,9 @@ void DhtNode::send_request(const crypto::PeerId& to,
                   if (!conn) {
                     // Unreachable peer: fail fast and drop it from the table.
                     const auto it = pending_.find(id);
-                    if (it != pending_.end()) table_.remove(it->second.peer);
+                    if (it != pending_.end()) {
+                      mutate_table([&] { table_.remove(it->second.peer); });
+                    }
                     fail_pending(id);
                     return;
                   }
@@ -193,7 +217,7 @@ void DhtNode::fail_pending(std::uint64_t request_id) {
   Pending pending = std::move(it->second);
   pending_.erase(it);
   pending.timeout.cancel();
-  table_.remove(pending.peer);  // unresponsive: evict
+  mutate_table([&] { table_.remove(pending.peer); });  // unresponsive: evict
   if (pending.callback) pending.callback(nullptr);
 }
 
@@ -235,6 +259,7 @@ void DhtNode::provide(const cid::Cid& content, const net::Address& address) {
       msg->request_id = next_request_id_++;
       msg->sender_is_server = config_.server_mode;
       ++rpcs_sent_;
+      metrics_.rpcs->inc();
       const auto existing = network_.connection_between(self_, peer.id);
       if (existing) {
         network_.send(*existing, self_, std::move(msg));
@@ -252,6 +277,7 @@ void DhtNode::provide(const cid::Cid& content, const net::Address& address) {
 void DhtNode::start_lookup(const Key& target, bool collect_providers,
                            LookupCallback on_done) {
   ++lookups_started_;
+  metrics_.lookups->inc();
   auto state = std::make_shared<LookupState>();
   state->target = target;
   state->collect_providers = collect_providers;

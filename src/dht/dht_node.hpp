@@ -121,6 +121,25 @@ class DhtNode {
   bool running_ = false;
   std::uint64_t lookups_started_ = 0;
   std::uint64_t rpcs_sent_ = 0;
+
+  // Network-wide obs instruments (shared across all DHT nodes on the same
+  // network; grabbed once at construction, bumped inline on hot paths).
+  struct Instruments {
+    obs::Counter* lookups = nullptr;
+    obs::Counter* rpcs = nullptr;
+    obs::Counter* rpc_timeouts = nullptr;
+    obs::Gauge* table_entries = nullptr;
+  } metrics_;
+
+  /// Applies a routing-table mutation and mirrors the size delta into the
+  /// network-wide table-entries gauge.
+  template <typename Fn>
+  void mutate_table(Fn&& fn) {
+    const auto before = table_.size();
+    fn();
+    metrics_.table_entries->add(static_cast<double>(table_.size()) -
+                                static_cast<double>(before));
+  }
 };
 
 }  // namespace ipfsmon::dht

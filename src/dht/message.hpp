@@ -37,6 +37,11 @@ struct DhtMessage : net::Payload {
   /// Whether the sender operates in DHT server mode; clients are never
   /// added to routing tables (paper Sec. III-A).
   bool sender_is_server = false;
+
+  std::size_t wire_size() const override {
+    // Header + key, ~44 B per peer record (peer id + address).
+    return 48 + (closer.size() + providers.size()) * 44;
+  }
 };
 
 using DhtMessagePtr = std::shared_ptr<const DhtMessage>;

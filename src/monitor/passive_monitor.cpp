@@ -27,6 +27,20 @@ PassiveMonitor::PassiveMonitor(net::Network& network, crypto::KeyPair keys,
                                const bitswap::BitswapMessage& message) {
     record_message(from, message);
   });
+  auto& reg = network.obs().metrics;
+  const std::string label = "monitor=\"" + std::to_string(monitor_id_) + "\"";
+  metrics_.trace_entries =
+      &reg.counter("ipfsmon_monitor_trace_entries_total",
+                   "Bitswap trace entries recorded by all monitors");
+  metrics_.trace_size = &reg.gauge("ipfsmon_monitor_trace_entries",
+                                   "Trace entries since last reset", label);
+  metrics_.unique_peers = &reg.gauge(
+      "ipfsmon_monitor_unique_peers", "Unique peers ever connected", label);
+  metrics_.snapshots_taken = &reg.gauge("ipfsmon_monitor_snapshots",
+                                        "Peer-set snapshots taken", label);
+  metrics_.coverage_mean =
+      &reg.gauge("ipfsmon_monitor_coverage_mean_peers",
+                 "Mean connected-peer-set size over snapshots", label);
 }
 
 void PassiveMonitor::record_message(const crypto::PeerId& from,
@@ -48,11 +62,14 @@ void PassiveMonitor::record_message(const crypto::PeerId& from,
     t.cid = entry.salted ? bitswap::opaque_cid_for(entry) : entry.cid;
     t.monitor = monitor_id_;
     trace_.append(std::move(t));
+    metrics_.trace_entries->inc();
   }
+  metrics_.trace_size->set(static_cast<double>(trace_.size()));
 }
 
 void PassiveMonitor::on_peer_connected_hook(const crypto::PeerId& peer) {
   peers_seen_.insert(peer);
+  metrics_.unique_peers->set(static_cast<double>(peers_seen_.size()));
 }
 
 void PassiveMonitor::start_snapshots() {
@@ -67,7 +84,11 @@ void PassiveMonitor::schedule_snapshot() {
         PeerSnapshot snapshot;
         snapshot.time = network().scheduler().now();
         snapshot.peers = network().connected_peers(id());
+        snapshot_peer_sum_ += static_cast<double>(snapshot.peers.size());
         snapshots_.push_back(std::move(snapshot));
+        metrics_.snapshots_taken->set(static_cast<double>(snapshots_.size()));
+        metrics_.coverage_mean->set(snapshot_peer_sum_ /
+                                    static_cast<double>(snapshots_.size()));
         schedule_snapshot();
       });
 }
@@ -77,6 +98,11 @@ void PassiveMonitor::reset_observations() {
   snapshots_.clear();
   peers_seen_.clear();
   bitswap_active_.clear();
+  snapshot_peer_sum_ = 0.0;
+  metrics_.trace_size->set(0.0);
+  metrics_.unique_peers->set(0.0);
+  metrics_.snapshots_taken->set(0.0);
+  metrics_.coverage_mean->set(0.0);
 }
 
 }  // namespace ipfsmon::monitor

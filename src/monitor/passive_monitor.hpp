@@ -76,6 +76,21 @@ class PassiveMonitor : public node::IpfsNode {
   std::unordered_set<crypto::PeerId> peers_seen_;
   std::unordered_set<crypto::PeerId> bitswap_active_;
   sim::EventHandle snapshot_timer_;
+
+  // Obs instruments. The counter is network-wide; the gauges carry a
+  // monitor="<id>" label so per-monitor series stay separable.
+  struct Instruments {
+    obs::Counter* trace_entries = nullptr;
+    obs::Gauge* trace_size = nullptr;
+    obs::Gauge* unique_peers = nullptr;
+    obs::Gauge* snapshots_taken = nullptr;
+    obs::Gauge* coverage_mean = nullptr;
+  } metrics_;
+  /// Sum of per-snapshot connected-peer counts since the last reset;
+  /// coverage_mean = this / snapshots_.size() — the same statistic the
+  /// analysis pipeline's estimate_over_snapshots reports as
+  /// mean_set_sizes, kept live so exporters can cross-check it.
+  double snapshot_peer_sum_ = 0.0;
 };
 
 }  // namespace ipfsmon::monitor

@@ -5,7 +5,56 @@
 namespace ipfsmon::net {
 
 Network::Network(sim::Scheduler& scheduler, GeoDatabase geo, std::uint64_t seed)
-    : scheduler_(scheduler), geo_(std::move(geo)), rng_(seed, "network") {}
+    : scheduler_(scheduler), geo_(std::move(geo)), rng_(seed, "network") {
+  auto& m = obs_.metrics;
+  metrics_.dials = &m.counter("ipfsmon_net_dials_total", "Dial attempts");
+  metrics_.dial_failures = &m.counter(
+      "ipfsmon_net_dial_failures_total",
+      "Dials failed (offline/NAT/self/churn), excluding host rejections");
+  metrics_.accepts = &m.counter("ipfsmon_net_accepts_total",
+                                "Inbound dials accepted by the target host");
+  metrics_.rejects = &m.counter("ipfsmon_net_rejects_total",
+                                "Inbound dials refused by the target host");
+  metrics_.connections_opened = &m.counter("ipfsmon_net_connections_opened_total",
+                                           "Connections established");
+  metrics_.connections_closed = &m.counter("ipfsmon_net_connections_closed_total",
+                                           "Connections torn down");
+  metrics_.messages_sent = &m.counter("ipfsmon_net_messages_sent_total",
+                                      "Payloads submitted for delivery");
+  metrics_.messages_delivered = &m.counter("ipfsmon_net_messages_delivered_total",
+                                           "Payloads delivered to a host");
+  metrics_.messages_dropped = &m.counter(
+      "ipfsmon_net_messages_dropped_total",
+      "Payloads dropped in flight (connection closed or receiver churned)");
+  metrics_.bytes_delivered = &m.counter("ipfsmon_net_bytes_delivered_total",
+                                        "Approximate payload bytes delivered");
+  metrics_.open_connections =
+      &m.gauge("ipfsmon_net_open_connections", "Currently open connections");
+  metrics_.online_nodes =
+      &m.gauge("ipfsmon_net_online_nodes", "Currently online nodes");
+  metrics_.latency = &m.histogram(
+      "ipfsmon_net_latency_seconds",
+      {0.01, 0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 1.0},
+      "Sampled one-way message latencies");
+}
+
+obs::Gauge& Network::country_gauge(const std::string& country) {
+  const auto it = country_gauges_.find(country);
+  if (it != country_gauges_.end()) return *it->second;
+  obs::Gauge& gauge = obs_.metrics.gauge(
+      "ipfsmon_net_connection_endpoints",
+      "Open connection endpoints by endpoint country",
+      "country=\"" + country + "\"");
+  country_gauges_.emplace(country, &gauge);
+  return gauge;
+}
+
+void Network::track_endpoints(const Connection& conn, double delta) {
+  const NodeRecord* ra = record(conn.a);
+  const NodeRecord* rb = record(conn.b);
+  country_gauge(ra != nullptr ? ra->country : "??").add(delta);
+  country_gauge(rb != nullptr ? rb->country : "??").add(delta);
+}
 
 void Network::register_node(const crypto::PeerId& id, const Address& addr,
                             const std::string& country, bool nat, Host* host,
@@ -22,6 +71,7 @@ void Network::set_online(const crypto::PeerId& id, bool online) {
   if (it->second.online == online) return;
   if (!online) close_all_of(id);
   it->second.online = online;
+  metrics_.online_nodes->add(online ? 1.0 : -1.0);
 
   if (!it->second.nat) {
     const bool hub = it->second.discovery_weight > 1.0;
@@ -101,11 +151,15 @@ ConnectionId Network::establish(const crypto::PeerId& from,
       Connection{from, to, scheduler_.now(), scheduler_.now(), scheduler_.now()};
   adjacency_[from][to] = id;
   adjacency_[to][from] = id;
+  metrics_.connections_opened->inc();
+  metrics_.open_connections->set(static_cast<double>(connections_.size()));
+  track_endpoints(connections_[id], +1.0);
   return id;
 }
 
 void Network::dial(const crypto::PeerId& from, const crypto::PeerId& to,
                    std::function<void(std::optional<ConnectionId>)> on_result) {
+  metrics_.dials->inc();
   // One round trip to establish (SYN + accept), sampled now for determinism.
   const util::SimDuration rtt = 2 * sample_latency(from, to);
   scheduler_.schedule_after(rtt, [this, from, to,
@@ -113,10 +167,12 @@ void Network::dial(const crypto::PeerId& from, const crypto::PeerId& to,
     // Conditions are re-checked at completion time: either endpoint may
     // have churned while the dial was in flight.
     if (!is_online(from) || !is_online(to)) {
+      metrics_.dial_failures->inc();
       if (cb) cb(std::nullopt);
       return;
     }
     if (from == to) {
+      metrics_.dial_failures->inc();
       if (cb) cb(std::nullopt);
       return;
     }
@@ -126,13 +182,20 @@ void Network::dial(const crypto::PeerId& from, const crypto::PeerId& to,
     }
     NodeRecord& target = nodes_.at(to);
     if (target.nat) {
+      metrics_.dial_failures->inc();
       if (cb) cb(std::nullopt);  // no inbound through NAT (no hole punching)
       return;
     }
     if (!target.host->accept_inbound(from)) {
+      metrics_.rejects->inc();
+      if (obs_.events.active()) {
+        obs_.events.emit(scheduler_.now(), obs::Severity::kDebug, "net",
+                         "inbound dial rejected by " + to.short_hex());
+      }
       if (cb) cb(std::nullopt);
       return;
     }
+    metrics_.accepts->inc();
     const ConnectionId conn = establish(from, to);
     NodeRecord& dialer = nodes_.at(from);
     dialer.host->on_connection(conn, to, /*outbound=*/true);
@@ -151,7 +214,10 @@ void Network::close(ConnectionId conn) {
   if (it == connections_.end()) return;
   const crypto::PeerId a = it->second.a;
   const crypto::PeerId b = it->second.b;
+  track_endpoints(it->second, -1.0);
   connections_.erase(it);
+  metrics_.connections_closed->inc();
+  metrics_.open_connections->set(static_cast<double>(connections_.size()));
   adjacency_[a].erase(b);
   adjacency_[b].erase(a);
   if (const NodeRecord* ra = record(a); ra != nullptr && ra->host != nullptr) {
@@ -180,7 +246,10 @@ void Network::send(ConnectionId conn, const crypto::PeerId& sender,
   if (!a_to_b && sender != c.b) return;  // not a party to this connection
   const crypto::PeerId receiver = a_to_b ? c.b : c.a;
 
-  util::SimTime deliver_at = scheduler_.now() + sample_latency(sender, receiver);
+  const util::SimDuration latency = sample_latency(sender, receiver);
+  metrics_.messages_sent->inc();
+  metrics_.latency->observe(util::to_seconds(latency));
+  util::SimTime deliver_at = scheduler_.now() + latency;
   // Enforce in-order delivery per direction (reliable stream semantics).
   util::SimTime& fifo = a_to_b ? c.next_delivery_a_to_b : c.next_delivery_b_to_a;
   if (deliver_at < fifo) deliver_at = fifo;
@@ -189,10 +258,18 @@ void Network::send(ConnectionId conn, const crypto::PeerId& sender,
   scheduler_.schedule_at(
       deliver_at, [this, conn, sender, receiver, payload = std::move(payload)]() {
         // Drop if the connection died or the receiver churned in flight.
-        if (connections_.count(conn) == 0) return;
+        if (connections_.count(conn) == 0) {
+          metrics_.messages_dropped->inc();
+          return;
+        }
         const NodeRecord* r = record(receiver);
-        if (r == nullptr || !r->online) return;
+        if (r == nullptr || !r->online) {
+          metrics_.messages_dropped->inc();
+          return;
+        }
         ++messages_delivered_;
+        metrics_.messages_delivered->inc();
+        metrics_.bytes_delivered->inc(payload->wire_size());
         r->host->on_message(conn, sender, payload);
       });
 }

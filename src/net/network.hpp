@@ -16,6 +16,7 @@
 #include "crypto/keys.hpp"
 #include "net/address.hpp"
 #include "net/geo.hpp"
+#include "obs/obs.hpp"
 #include "sim/scheduler.hpp"
 #include "util/rng.hpp"
 
@@ -26,6 +27,10 @@ namespace ipfsmon::net {
 /// dynamic_cast, mirroring libp2p's per-protocol stream demultiplexing.
 struct Payload {
   virtual ~Payload() = default;
+
+  /// Approximate serialized size in bytes, for traffic accounting only
+  /// (nothing is actually serialized in the sim). Subclasses refine it.
+  virtual std::size_t wire_size() const { return 32; }
 };
 
 using PayloadPtr = std::shared_ptr<const Payload>;
@@ -73,6 +78,11 @@ class Network {
   sim::Scheduler& scheduler() { return scheduler_; }
   GeoDatabase& geo() { return geo_; }
   const GeoDatabase& geo() const { return geo_; }
+
+  /// Shared observability context (metrics registry + event hub). Every
+  /// layer constructed over this network registers its instruments here.
+  obs::Obs& obs() { return obs_; }
+  const obs::Obs& obs() const { return obs_; }
 
   /// Registers a node (initially offline). `discovery_weight` biases
   /// ambient-discovery sampling: long-lived, well-connected nodes occupy
@@ -146,10 +156,32 @@ class Network {
                                    const crypto::PeerId& b);
   ConnectionId establish(const crypto::PeerId& from, const crypto::PeerId& to);
   void close_all_of(const crypto::PeerId& id);
+  /// Per-country connection-endpoint gauge (each open connection counts
+  /// once per endpoint country). Cached: country sets are small.
+  obs::Gauge& country_gauge(const std::string& country);
+  void track_endpoints(const Connection& conn, double delta);
 
   sim::Scheduler& scheduler_;
   GeoDatabase geo_;
   util::RngStream rng_;
+  obs::Obs obs_;
+
+  struct Instruments {
+    obs::Counter* dials = nullptr;
+    obs::Counter* dial_failures = nullptr;
+    obs::Counter* accepts = nullptr;
+    obs::Counter* rejects = nullptr;
+    obs::Counter* connections_opened = nullptr;
+    obs::Counter* connections_closed = nullptr;
+    obs::Counter* messages_sent = nullptr;
+    obs::Counter* messages_delivered = nullptr;
+    obs::Counter* messages_dropped = nullptr;
+    obs::Counter* bytes_delivered = nullptr;
+    obs::Gauge* open_connections = nullptr;
+    obs::Gauge* online_nodes = nullptr;
+    obs::Histogram* latency = nullptr;
+  } metrics_;
+  std::unordered_map<std::string, obs::Gauge*> country_gauges_;
 
   std::unordered_map<crypto::PeerId, NodeRecord> nodes_;
   std::unordered_map<ConnectionId, Connection> connections_;

@@ -1,0 +1,58 @@
+#include "obs/events.hpp"
+
+#include <cstdio>
+
+namespace ipfsmon::obs {
+
+std::string_view severity_name(Severity s) {
+  switch (s) {
+    case Severity::kDebug: return "DEBUG";
+    case Severity::kInfo: return "INFO";
+    case Severity::kWarn: return "WARN";
+    case Severity::kError: return "ERROR";
+  }
+  return "?";
+}
+
+EventHub::SubscriptionId EventHub::subscribe(Handler handler) {
+  const SubscriptionId id = next_id_++;
+  handlers_.emplace_back(id, std::move(handler));
+  return id;
+}
+
+void EventHub::unsubscribe(SubscriptionId id) {
+  for (auto it = handlers_.begin(); it != handlers_.end(); ++it) {
+    if (it->first == id) {
+      handlers_.erase(it);
+      return;
+    }
+  }
+}
+
+void EventHub::emit(util::SimTime time, Severity severity,
+                    std::string_view component, std::string message) {
+  ++counts_[static_cast<std::size_t>(severity)];
+  if (handlers_.empty()) return;
+  const ObsEvent event{time, severity, component, std::move(message)};
+  for (const auto& [id, handler] : handlers_) handler(event);
+}
+
+std::uint64_t EventHub::emitted_total() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts_) total += c;
+  return total;
+}
+
+EventHub::SubscriptionId stderr_event_logger(EventHub& hub,
+                                             Severity min_severity) {
+  return hub.subscribe([min_severity](const ObsEvent& event) {
+    if (event.severity < min_severity) return;
+    std::fprintf(stderr, "[%s] %-5s %.*s: %s\n",
+                 util::format_sim_time(event.time).c_str(),
+                 std::string(severity_name(event.severity)).c_str(),
+                 static_cast<int>(event.component.size()),
+                 event.component.data(), event.message.c_str());
+  });
+}
+
+}  // namespace ipfsmon::obs

@@ -1,0 +1,74 @@
+// Structured trace events for *rare* occurrences (connection rejects,
+// connection-manager trims, churn transitions, DHT RPC timeouts). Unlike
+// metrics — which are aggregated counts sampled on a cadence — events carry
+// a timestamped, per-occurrence record with severity and component tags.
+//
+// Library code emits through the hub and stays silent by default: with no
+// subscriber attached, emit() only bumps per-severity counters. Attach
+// stderr_event_logger (or any handler) to make a run observable on demand.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace ipfsmon::obs {
+
+enum class Severity : std::uint8_t { kDebug = 0, kInfo, kWarn, kError };
+
+std::string_view severity_name(Severity s);
+
+struct ObsEvent {
+  util::SimTime time = 0;
+  Severity severity = Severity::kInfo;
+  /// Emitting subsystem ("net", "dht", "node", "scenario", …). Must point
+  /// to a string literal (handlers may retain the view past the emit call).
+  std::string_view component;
+  std::string message;
+};
+
+class EventHub {
+ public:
+  using Handler = std::function<void(const ObsEvent&)>;
+  using SubscriptionId = std::uint64_t;
+
+  EventHub() = default;
+  EventHub(const EventHub&) = delete;
+  EventHub& operator=(const EventHub&) = delete;
+
+  SubscriptionId subscribe(Handler handler);
+  void unsubscribe(SubscriptionId id);
+
+  /// True when at least one handler is attached. Emitters building
+  /// expensive messages should guard with this.
+  bool active() const { return !handlers_.empty(); }
+
+  void emit(util::SimTime time, Severity severity, std::string_view component,
+            std::string message);
+
+  /// Events emitted so far at `severity` (counted with or without
+  /// subscribers).
+  std::uint64_t emitted(Severity severity) const {
+    return counts_[static_cast<std::size_t>(severity)];
+  }
+  std::uint64_t emitted_total() const;
+
+ private:
+  std::vector<std::pair<SubscriptionId, Handler>> handlers_;
+  SubscriptionId next_id_ = 1;
+  std::array<std::uint64_t, 4> counts_{};
+};
+
+/// Subscribes a handler that prints events at/above `min_severity` to
+/// stderr as `[d:hh:mm:ss] LEVEL component: message`. Returns the
+/// subscription id (for unsubscribe).
+EventHub::SubscriptionId stderr_event_logger(
+    EventHub& hub, Severity min_severity = Severity::kWarn);
+
+}  // namespace ipfsmon::obs

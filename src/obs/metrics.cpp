@@ -1,0 +1,102 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ipfsmon::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty() || !std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument(
+        "Histogram: bounds must be non-empty and strictly increasing");
+  }
+  bucket_counts_.assign(bounds_.size() + 1, 0);
+}
+
+std::vector<double> exponential_buckets(double start, double factor,
+                                        std::size_t count) {
+  if (start <= 0.0 || factor <= 1.0) {
+    throw std::invalid_argument("exponential_buckets: need start>0, factor>1");
+  }
+  std::vector<double> out;
+  out.reserve(count);
+  double v = start;
+  for (std::size_t i = 0; i < count; ++i, v *= factor) out.push_back(v);
+  return out;
+}
+
+std::size_t MetricsRegistry::find_index(std::string_view name,
+                                        std::string_view labels,
+                                        InstrumentKind kind) {
+  for (std::size_t i = 0; i < infos_.size(); ++i) {
+    if (infos_[i].name == name && infos_[i].labels == labels) {
+      if (infos_[i].kind != kind) {
+        throw std::invalid_argument(
+            "MetricsRegistry: instrument '" + std::string(name) +
+            "' already registered with a different kind");
+      }
+      return i;
+    }
+  }
+  return infos_.size();
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, std::string_view help,
+                                  std::string_view labels) {
+  const std::size_t idx = find_index(name, labels, InstrumentKind::kCounter);
+  if (idx < infos_.size()) return counters_[infos_[idx].slot];
+  counters_.emplace_back();
+  infos_.push_back(InstrumentInfo{std::string(name), std::string(labels),
+                                  std::string(help), InstrumentKind::kCounter,
+                                  counters_.size() - 1});
+  return counters_.back();
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help,
+                              std::string_view labels) {
+  const std::size_t idx = find_index(name, labels, InstrumentKind::kGauge);
+  if (idx < infos_.size()) return gauges_[infos_[idx].slot];
+  gauges_.emplace_back();
+  infos_.push_back(InstrumentInfo{std::string(name), std::string(labels),
+                                  std::string(help), InstrumentKind::kGauge,
+                                  gauges_.size() - 1});
+  return gauges_.back();
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds,
+                                      std::string_view help,
+                                      std::string_view labels) {
+  const std::size_t idx = find_index(name, labels, InstrumentKind::kHistogram);
+  if (idx < infos_.size()) return histograms_[infos_[idx].slot];
+  histograms_.emplace_back(std::move(bounds));
+  infos_.push_back(InstrumentInfo{std::string(name), std::string(labels),
+                                  std::string(help),
+                                  InstrumentKind::kHistogram,
+                                  histograms_.size() - 1});
+  return histograms_.back();
+}
+
+double MetricsRegistry::scalar_value(std::size_t index) const {
+  const InstrumentInfo& info = infos_.at(index);
+  switch (info.kind) {
+    case InstrumentKind::kCounter:
+      return static_cast<double>(counters_[info.slot].value());
+    case InstrumentKind::kGauge:
+      return gauges_[info.slot].value();
+    case InstrumentKind::kHistogram:
+      return static_cast<double>(histograms_[info.slot].count());
+  }
+  return 0.0;
+}
+
+const InstrumentInfo* MetricsRegistry::find(std::string_view name,
+                                            std::string_view labels) const {
+  for (const auto& info : infos_) {
+    if (info.name == name && info.labels == labels) return &info;
+  }
+  return nullptr;
+}
+
+}  // namespace ipfsmon::obs

@@ -1,0 +1,149 @@
+// Low-overhead metrics primitives for the simulator: a registry of typed
+// instruments (Counter, Gauge, fixed-bucket Histogram) following the
+// Prometheus data model. The sim core is single-threaded, so increments are
+// plain inline arithmetic — no atomics, no locks. Instrument handles stay
+// valid for the registry's lifetime (instruments are never removed), so hot
+// paths grab a reference once at construction and bump it directly.
+//
+// Naming convention: `ipfsmon_<layer>_<name>` with `_total` suffixed to
+// monotonic counters; labels are reserved for low-cardinality dimensions
+// (country codes, monitor ids) — see DESIGN.md "Observability".
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ipfsmon::obs {
+
+/// Monotonically increasing count (events fired, messages delivered, …).
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Instantaneous value that can move both ways (queue depth, coverage, …).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double d) { value_ += d; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations with
+/// value <= bounds[i] that fall in no earlier bucket; one implicit +Inf
+/// bucket catches the rest (Prometheus `le` semantics, non-cumulative
+/// storage — the exporter cumulates).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) {
+    ++count_;
+    sum_ += v;
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+      if (v <= bounds_[i]) {
+        ++bucket_counts_[i];
+        return;
+      }
+    }
+    ++bucket_counts_.back();  // +Inf
+  }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; last element is the +Inf bucket.
+  const std::vector<std::uint64_t>& bucket_counts() const {
+    return bucket_counts_;
+  }
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::vector<double> bounds_;           // strictly increasing upper bounds
+  std::vector<std::uint64_t> bucket_counts_;  // bounds_.size() + 1 (+Inf)
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// `count` buckets growing geometrically from `start` by `factor`.
+std::vector<double> exponential_buckets(double start, double factor,
+                                        std::size_t count);
+
+enum class InstrumentKind { kCounter, kGauge, kHistogram };
+
+/// Export-facing metadata for one registered instrument. `name` is the base
+/// metric name; `labels` is the Prometheus label body without braces (e.g.
+/// `country="US"`), empty for unlabelled instruments.
+struct InstrumentInfo {
+  std::string name;
+  std::string labels;
+  std::string help;
+  InstrumentKind kind = InstrumentKind::kCounter;
+  // Index into the registry's per-kind storage.
+  std::size_t slot = 0;
+
+  std::string full_name() const {
+    return labels.empty() ? name : name + "{" + labels + "}";
+  }
+};
+
+/// Owns all instruments. Lookup is by (name, labels): re-registering the
+/// same pair with the same kind returns the existing instrument; a kind
+/// mismatch throws std::invalid_argument. Registration is append-only, so
+/// instrument indices are stable — the Collector relies on that to align
+/// ring samples taken at different times.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name, std::string_view help = {},
+                   std::string_view labels = {});
+  Gauge& gauge(std::string_view name, std::string_view help = {},
+               std::string_view labels = {});
+  Histogram& histogram(std::string_view name, std::vector<double> bounds,
+                       std::string_view help = {},
+                       std::string_view labels = {});
+
+  /// Registered instrument count (all kinds).
+  std::size_t size() const { return infos_.size(); }
+
+  /// Metadata in registration order; index i matches scalar_value(i).
+  const std::vector<InstrumentInfo>& instruments() const { return infos_; }
+
+  /// One scalar per instrument for time-series sampling: counter value,
+  /// gauge value, or histogram observation count.
+  double scalar_value(std::size_t index) const;
+
+  /// Lookup without creating; nullptr when absent.
+  const InstrumentInfo* find(std::string_view name,
+                             std::string_view labels = {}) const;
+
+  const Counter& counter_at(std::size_t slot) const { return counters_[slot]; }
+  const Gauge& gauge_at(std::size_t slot) const { return gauges_[slot]; }
+  const Histogram& histogram_at(std::size_t slot) const {
+    return histograms_[slot];
+  }
+
+ private:
+  std::size_t find_index(std::string_view name, std::string_view labels,
+                         InstrumentKind kind);
+
+  // deques: stable addresses while growing (hot paths hold references).
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::vector<InstrumentInfo> infos_;
+};
+
+}  // namespace ipfsmon::obs

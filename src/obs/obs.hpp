@@ -1,0 +1,17 @@
+// Umbrella context bundling the metrics registry and the event hub. One
+// Obs instance is owned by each net::Network, so every protocol layer built
+// on the network (DHT, Bitswap, nodes, monitors) reaches the same registry
+// without extra plumbing.
+#pragma once
+
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+
+namespace ipfsmon::obs {
+
+struct Obs {
+  MetricsRegistry metrics;
+  EventHub events;
+};
+
+}  // namespace ipfsmon::obs

@@ -1,5 +1,9 @@
 #include "scenario/study.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
 namespace ipfsmon::scenario {
 
 MonitoringStudy::MonitoringStudy(StudyConfig config)
@@ -46,6 +50,50 @@ MonitoringStudy::MonitoringStudy(StudyConfig config)
           rng_.fork(i + 1000)));
     }
   }
+
+  if (config_.collect_metrics) setup_collector();
+}
+
+void MonitoringStudy::setup_collector() {
+  obs::CollectorConfig collector_config;
+  collector_config.interval = config_.collect_interval;
+  collector_config.ring_capacity = config_.collect_ring_capacity;
+  collector_ = std::make_unique<obs::Collector>(
+      scheduler_, network_->obs().metrics, collector_config);
+  obs::register_scheduler_metrics(*collector_, network_->obs().metrics,
+                                  scheduler_);
+
+  // Ground-truth gauges refreshed right before each sample: population and
+  // gateway state the instrumented layers cannot see from inside.
+  auto& reg = network_->obs().metrics;
+  obs::Gauge& online = reg.gauge("ipfsmon_population_online_nodes",
+                                 "Population members currently online");
+  obs::Gauge& online_servers =
+      reg.gauge("ipfsmon_population_online_servers",
+                "Online members running in DHT server mode");
+  obs::Gauge& requests = reg.gauge("ipfsmon_population_requests_issued",
+                                   "Data requests issued by the population");
+  obs::Gauge& succeeded = reg.gauge("ipfsmon_population_fetches_succeeded",
+                                    "Population fetches that delivered");
+  obs::Gauge& failed = reg.gauge("ipfsmon_population_fetches_failed",
+                                 "Population fetches that timed out");
+  obs::Gauge* gateway_requests =
+      fleet_ != nullptr
+          ? &reg.gauge("ipfsmon_gateway_http_requests",
+                       "HTTP requests issued through the gateway fleet")
+          : nullptr;
+  collector_->add_sampler([this, &online, &online_servers, &requests,
+                           &succeeded, &failed, gateway_requests]() {
+    online.set(static_cast<double>(population_->online_count()));
+    online_servers.set(static_cast<double>(population_->online_server_count()));
+    requests.set(static_cast<double>(population_->requests_issued()));
+    succeeded.set(static_cast<double>(population_->fetches_succeeded()));
+    failed.set(static_cast<double>(population_->fetches_failed()));
+    if (gateway_requests != nullptr) {
+      gateway_requests->set(
+          static_cast<double>(fleet_->http_requests_issued()));
+    }
+  });
 }
 
 MonitoringStudy::~MonitoringStudy() = default;
@@ -60,8 +108,9 @@ void MonitoringStudy::run_warmup() {
       static_cast<monitor::ActiveMonitor*>(m.get())->start_sweeps();
     }
   }
+  if (collector_ && !collector_->running()) collector_->start();
 
-  scheduler_.run_until(scheduler_.now() + config_.warmup);
+  run_span(scheduler_.now() + config_.warmup, "warmup");
 
   for (auto& m : monitors_) {
     m->reset_observations();
@@ -70,7 +119,31 @@ void MonitoringStudy::run_warmup() {
 }
 
 void MonitoringStudy::run_measurement(util::SimDuration duration) {
-  scheduler_.run_until(scheduler_.now() + duration);
+  run_span(scheduler_.now() + duration, "measurement");
+}
+
+void MonitoringStudy::run_span(util::SimTime target, const char* label) {
+  if (!config_.progress_heartbeat) {
+    scheduler_.run_until(target);
+    return;
+  }
+  const util::SimTime start = scheduler_.now();
+  const auto wall_start = std::chrono::steady_clock::now();
+  while (scheduler_.now() < target) {
+    scheduler_.run_until(
+        std::min(target, scheduler_.now() + config_.heartbeat_interval));
+    const double progress = static_cast<double>(scheduler_.now() - start) /
+                            static_cast<double>(target - start);
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+    const double eta =
+        progress > 0.0 ? wall * (1.0 - progress) / progress : 0.0;
+    std::fprintf(stderr,
+                 "[ipfsmon] %s %3.0f%% (sim %s) wall %.1fs eta %.1fs\n",
+                 label, 100.0 * progress,
+                 util::format_sim_time(scheduler_.now()).c_str(), wall, eta);
+  }
 }
 
 std::vector<monitor::PassiveMonitor*> MonitoringStudy::monitors() {

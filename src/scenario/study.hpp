@@ -9,6 +9,7 @@
 
 #include "monitor/active_monitor.hpp"
 #include "monitor/passive_monitor.hpp"
+#include "obs/collector.hpp"
 #include "scenario/gateway_fleet.hpp"
 #include "scenario/population.hpp"
 #include "trace/preprocess.hpp"
@@ -41,6 +42,17 @@ struct StudyConfig {
 
   bool enable_gateways = true;
 
+  // --- Observability (src/obs) -------------------------------------------
+  /// Collect periodic metrics snapshots from the network's registry into a
+  /// ring (exported at exit as a JSONL sidecar by the experiment runners).
+  bool collect_metrics = true;
+  util::SimDuration collect_interval = 5 * util::kMinute;
+  std::size_t collect_ring_capacity = 4096;
+  /// Opt-in stderr progress heartbeat with a wall-clock ETA. Off by
+  /// default so library users stay silent.
+  bool progress_heartbeat = false;
+  util::SimDuration heartbeat_interval = 6 * util::kHour;
+
   CatalogConfig catalog;
   PopulationConfig population;
   GatewayFleetConfig gateways;
@@ -72,6 +84,10 @@ class MonitoringStudy {
   const StudyConfig& config() const { return config_; }
   sim::Scheduler& scheduler() { return scheduler_; }
   net::Network& network() { return *network_; }
+  obs::Obs& obs() { return network_->obs(); }
+  /// Null when config.collect_metrics is false.
+  obs::Collector* collector() { return collector_.get(); }
+  const obs::Collector* collector() const { return collector_.get(); }
   ContentCatalog& catalog() { return *catalog_; }
   Population& population() { return *population_; }
   GatewayFleet* gateways() { return fleet_.get(); }
@@ -87,6 +103,11 @@ class MonitoringStudy {
       const;
 
  private:
+  void setup_collector();
+  /// Advances the scheduler to `target`, printing heartbeat lines to
+  /// stderr along the way when config.progress_heartbeat is set.
+  void run_span(util::SimTime target, const char* label);
+
   StudyConfig config_;
   sim::Scheduler scheduler_;
   util::RngStream rng_;
@@ -95,6 +116,7 @@ class MonitoringStudy {
   std::unique_ptr<Population> population_;
   std::unique_ptr<GatewayFleet> fleet_;
   std::vector<std::unique_ptr<monitor::PassiveMonitor>> monitors_;
+  std::unique_ptr<obs::Collector> collector_;
 };
 
 }  // namespace ipfsmon::scenario

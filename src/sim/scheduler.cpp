@@ -28,7 +28,10 @@ void Scheduler::run_until(util::SimTime deadline) {
     Entry entry = std::move(const_cast<Entry&>(queue_.top()));
     queue_.pop();
     now_ = entry.when;
-    if (entry.state->cancelled) continue;
+    if (entry.state->cancelled) {
+      ++cancelled_;
+      continue;
+    }
     entry.state->fired = true;
     ++dispatched_;
     entry.fn();
@@ -41,7 +44,10 @@ void Scheduler::run_all() {
     Entry entry = std::move(const_cast<Entry&>(queue_.top()));
     queue_.pop();
     now_ = entry.when;
-    if (entry.state->cancelled) continue;
+    if (entry.state->cancelled) {
+      ++cancelled_;
+      continue;
+    }
     entry.state->fired = true;
     ++dispatched_;
     entry.fn();

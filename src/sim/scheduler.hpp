@@ -68,6 +68,10 @@ class Scheduler {
   /// Total events dispatched since construction (for stats/benchmarks).
   std::uint64_t dispatched() const { return dispatched_; }
 
+  /// Events found cancelled when their dispatch time arrived (cancellation
+  /// itself is O(1) on the handle; the queue entry is skipped here).
+  std::uint64_t cancelled() const { return cancelled_; }
+
  private:
   struct Entry {
     util::SimTime when;
@@ -85,6 +89,7 @@ class Scheduler {
   util::SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
+  std::uint64_t cancelled_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
 };
 

@@ -1,0 +1,323 @@
+// The observability subsystem: registry create/lookup/duplicate handling,
+// histogram bucket edges, collector cadence + ring bounds under the sim
+// scheduler, exporters (Prometheus text + JSONL), the event hub, and the
+// end-to-end invariant that every Bitswap want/cancel a client sends to a
+// monitor shows up as exactly one trace entry.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "obs/collector.hpp"
+#include "obs/events.hpp"
+#include "obs/exporters.hpp"
+#include "obs/metrics.hpp"
+#include "test_helpers.hpp"
+
+namespace ipfsmon::obs {
+namespace {
+
+using testing_helpers::SimFixture;
+using util::kMinute;
+using util::kSecond;
+
+// --- MetricsRegistry -------------------------------------------------------
+
+TEST(MetricsRegistryTest, RegistersAndLooksUpInstruments) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("ipfsmon_test_ops_total", "ops");
+  Gauge& g = reg.gauge("ipfsmon_test_depth", "depth");
+  c.inc(3);
+  g.set(1.5);
+
+  EXPECT_EQ(reg.size(), 2u);
+  const InstrumentInfo* info = reg.find("ipfsmon_test_ops_total");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->kind, InstrumentKind::kCounter);
+  EXPECT_EQ(reg.counter_at(info->slot).value(), 3u);
+  EXPECT_EQ(reg.find("ipfsmon_test_absent"), nullptr);
+}
+
+TEST(MetricsRegistryTest, ReRegistrationReturnsTheSameInstrument) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("ipfsmon_test_ops_total");
+  Counter& b = reg.counter("ipfsmon_test_ops_total");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, SameNameDifferentKindThrows) {
+  MetricsRegistry reg;
+  reg.counter("ipfsmon_test_value");
+  EXPECT_THROW(reg.gauge("ipfsmon_test_value"), std::invalid_argument);
+}
+
+TEST(MetricsRegistryTest, LabelsSeparateSeries) {
+  MetricsRegistry reg;
+  Gauge& us = reg.gauge("ipfsmon_test_conns", "conns", "country=\"US\"");
+  Gauge& de = reg.gauge("ipfsmon_test_conns", "conns", "country=\"DE\"");
+  EXPECT_NE(&us, &de);
+  us.set(4.0);
+  const InstrumentInfo* info =
+      reg.find("ipfsmon_test_conns", "country=\"US\"");
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->full_name(), "ipfsmon_test_conns{country=\"US\"}");
+  EXPECT_DOUBLE_EQ(reg.gauge_at(info->slot).value(), 4.0);
+}
+
+// --- Histogram -------------------------------------------------------------
+
+TEST(HistogramTest, BucketEdgesFollowLeSemantics) {
+  Histogram h({1.0, 2.0});
+  h.observe(0.5);  // <= 1.0
+  h.observe(1.0);  // <= 1.0 (boundary lands in its bucket)
+  h.observe(1.5);  // <= 2.0
+  h.observe(2.0);  // <= 2.0
+  h.observe(9.0);  // +Inf
+
+  ASSERT_EQ(h.bucket_counts().size(), 3u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 2u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 14.0);
+}
+
+TEST(HistogramTest, RejectsNonIncreasingBounds) {
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+}
+
+TEST(HistogramTest, ExponentialBuckets) {
+  const auto bounds = exponential_buckets(0.1, 10.0, 3);
+  ASSERT_EQ(bounds.size(), 3u);
+  EXPECT_DOUBLE_EQ(bounds[0], 0.1);
+  EXPECT_DOUBLE_EQ(bounds[1], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[2], 10.0);
+}
+
+// --- Collector -------------------------------------------------------------
+
+TEST(CollectorTest, SamplesOnSimTimeCadence) {
+  sim::Scheduler scheduler;
+  MetricsRegistry reg;
+  Counter& ops = reg.counter("ipfsmon_test_ops_total");
+  Gauge& depth = reg.gauge("ipfsmon_test_depth");
+
+  CollectorConfig config;
+  config.interval = 10 * kSecond;
+  Collector collector(scheduler, reg, config);
+  collector.add_sampler([&] { depth.set(static_cast<double>(ops.value())); });
+  collector.start();
+
+  scheduler.schedule_after(25 * kSecond, [&] { ops.inc(7); });
+  scheduler.run_until(45 * kSecond);
+
+  // Ticks at 10/20/30/40 s.
+  ASSERT_EQ(collector.samples().size(), 4u);
+  EXPECT_EQ(collector.samples()[0].time, 10 * kSecond);
+  EXPECT_EQ(collector.samples()[3].time, 40 * kSecond);
+  // Counter bump at 25 s is visible from the 30 s sample on; the sampler
+  // refreshed the gauge from it before the ring write.
+  const InstrumentInfo* ops_info = reg.find("ipfsmon_test_ops_total");
+  const InstrumentInfo* depth_info = reg.find("ipfsmon_test_depth");
+  ASSERT_NE(ops_info, nullptr);
+  ASSERT_NE(depth_info, nullptr);
+  const std::size_t ops_idx =
+      static_cast<std::size_t>(ops_info - reg.instruments().data());
+  const std::size_t depth_idx =
+      static_cast<std::size_t>(depth_info - reg.instruments().data());
+  EXPECT_DOUBLE_EQ(collector.samples()[1].values[ops_idx], 0.0);
+  EXPECT_DOUBLE_EQ(collector.samples()[2].values[ops_idx], 7.0);
+  EXPECT_DOUBLE_EQ(collector.samples()[2].values[depth_idx], 7.0);
+
+  collector.stop();
+  scheduler.run_until(100 * kSecond);
+  EXPECT_EQ(collector.samples().size(), 4u);
+}
+
+TEST(CollectorTest, RingIsBoundedAndCountsDrops) {
+  sim::Scheduler scheduler;
+  MetricsRegistry reg;
+  reg.counter("ipfsmon_test_ops_total");
+
+  CollectorConfig config;
+  config.interval = 1 * kSecond;
+  config.ring_capacity = 4;
+  Collector collector(scheduler, reg, config);
+  collector.start();
+  scheduler.run_until(10 * kSecond);
+
+  EXPECT_EQ(collector.samples().size(), 4u);
+  EXPECT_EQ(collector.samples_taken(), 10u);
+  EXPECT_EQ(collector.samples_dropped(), 6u);
+  // Oldest samples were dropped: the ring holds the most recent ticks.
+  EXPECT_EQ(collector.samples().front().time, 7 * kSecond);
+  EXPECT_EQ(collector.samples().back().time, 10 * kSecond);
+}
+
+TEST(CollectorTest, LateRegisteredInstrumentsAlignByIndex) {
+  sim::Scheduler scheduler;
+  MetricsRegistry reg;
+  reg.counter("ipfsmon_test_a_total");
+  Collector collector(scheduler, reg, {});
+  collector.collect_now();
+  reg.counter("ipfsmon_test_b_total").inc(5);
+  collector.collect_now();
+
+  ASSERT_EQ(collector.samples().size(), 2u);
+  EXPECT_EQ(collector.samples()[0].values.size(), 1u);
+  EXPECT_EQ(collector.samples()[1].values.size(), 2u);
+  EXPECT_DOUBLE_EQ(collector.samples()[1].values[1], 5.0);
+}
+
+// --- Scheduler cancelled counter -------------------------------------------
+
+TEST(SchedulerObsTest, CountsCancelledEvents) {
+  sim::Scheduler scheduler;
+  bool fired = false;
+  sim::EventHandle h =
+      scheduler.schedule_after(1 * kSecond, [&] { fired = true; });
+  h.cancel();
+  scheduler.schedule_after(2 * kSecond, [] {});
+  scheduler.run_until(5 * kSecond);
+
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(scheduler.cancelled(), 1u);
+  EXPECT_EQ(scheduler.dispatched(), 1u);
+}
+
+// --- Exporters -------------------------------------------------------------
+
+TEST(ExportersTest, PrometheusTextExposition) {
+  MetricsRegistry reg;
+  reg.counter("ipfsmon_test_ops_total", "Operations").inc(3);
+  reg.gauge("ipfsmon_test_conns", "Connections", "country=\"US\"").set(2.0);
+  Histogram& h =
+      reg.histogram("ipfsmon_test_latency_seconds", {0.1, 1.0}, "Latency");
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(5.0);
+
+  const std::string text = to_prometheus(reg);
+  EXPECT_NE(text.find("# TYPE ipfsmon_test_ops_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("ipfsmon_test_ops_total 3"), std::string::npos);
+  EXPECT_NE(text.find("ipfsmon_test_conns{country=\"US\"} 2"),
+            std::string::npos);
+  // Histogram buckets are cumulative with le labels, plus sum and count.
+  EXPECT_NE(text.find("ipfsmon_test_latency_seconds_bucket{le=\"0.1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("ipfsmon_test_latency_seconds_bucket{le=\"1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("ipfsmon_test_latency_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("ipfsmon_test_latency_seconds_count 3"),
+            std::string::npos);
+}
+
+TEST(ExportersTest, JsonlLineCarriesEveryInstrument) {
+  sim::Scheduler scheduler;
+  MetricsRegistry reg;
+  reg.counter("ipfsmon_test_ops_total").inc(2);
+  reg.histogram("ipfsmon_test_latency_seconds", {1.0}).observe(0.5);
+  reg.gauge("ipfsmon_test_conns", "", "country=\"US\"").set(4.0);
+  Collector collector(scheduler, reg, {});
+  collector.collect_now();
+
+  const std::string line = to_jsonl_line(reg, collector.samples().front());
+  EXPECT_NE(line.find("\"t_seconds\":"), std::string::npos);
+  EXPECT_NE(line.find("\"ipfsmon_test_ops_total\":2"), std::string::npos);
+  // Histograms export their observation count under _count.
+  EXPECT_NE(line.find("\"ipfsmon_test_latency_seconds_count\":1"),
+            std::string::npos);
+  // Label quotes are backslash-escaped so the line stays valid JSON.
+  EXPECT_NE(line.find("\"ipfsmon_test_conns{country=\\\"US\\\"}\":4"),
+            std::string::npos);
+  EXPECT_EQ(line.find("{country=\"US\"}\":"), std::string::npos);
+}
+
+// --- EventHub ---------------------------------------------------------------
+
+TEST(EventHubTest, CountsWithoutSubscribersAndDeliversWithThem) {
+  EventHub hub;
+  EXPECT_FALSE(hub.active());
+  hub.emit(0, Severity::kWarn, "test", "silent");
+  EXPECT_EQ(hub.emitted(Severity::kWarn), 1u);
+
+  std::vector<ObsEvent> seen;
+  const auto id = hub.subscribe([&](const ObsEvent& e) { seen.push_back(e); });
+  EXPECT_TRUE(hub.active());
+  hub.emit(5 * kSecond, Severity::kError, "test", "boom");
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].severity, Severity::kError);
+  EXPECT_EQ(seen[0].component, "test");
+  EXPECT_EQ(seen[0].message, "boom");
+
+  hub.unsubscribe(id);
+  EXPECT_FALSE(hub.active());
+  hub.emit(0, Severity::kError, "test", "dropped");
+  EXPECT_EQ(seen.size(), 1u);
+  EXPECT_EQ(hub.emitted_total(), 3u);
+}
+
+// --- End-to-end invariant ---------------------------------------------------
+
+// Requesters that connect ONLY to a monitor: every want/cancel entry they
+// send must appear as exactly one monitor trace entry, and nothing may be
+// dropped — the bookkeeping identity the sidecars rely on.
+TEST(ObsInvariantTest, BroadcastsSentEqualTraceEntriesRecorded) {
+  SimFixture fix(17);
+  auto& mon = fix.make_monitor();
+  mon.go_online({});
+
+  node::NodeConfig requester_config;
+  requester_config.dht_server = false;  // clients: never enter DHT tables,
+                                        // so no cross-dials between them
+  requester_config.target_degree = 0;   // no ambient discovery
+  requester_config.discovery_dials = 0;
+  requester_config.high_water = 0;  // no connection-manager trims
+  requester_config.low_water = 0;
+  requester_config.bitswap.fetch_timeout = 1 * kMinute;
+
+  std::vector<node::IpfsNode*> requesters;
+  for (int i = 0; i < 5; ++i) {
+    auto& n = fix.make_node(requester_config);
+    n.go_online({mon.id()});
+    requesters.push_back(&n);
+  }
+  fix.run_for(10 * kSecond);
+
+  for (std::size_t i = 0; i < requesters.size(); ++i) {
+    requesters[i]->fetch(
+        cid::Cid::of_data(cid::Multicodec::Raw,
+                          util::bytes_of("missing-" + std::to_string(i))),
+        nullptr);
+  }
+  // Past every fetch deadline: broadcasts, re-broadcasts, and final
+  // CANCELs have all been sent and delivered.
+  fix.run_for(3 * kMinute);
+
+  auto counter = [&](const char* name) -> std::uint64_t {
+    const InstrumentInfo* info = fix.network.obs().metrics.find(name);
+    EXPECT_NE(info, nullptr) << name;
+    return info != nullptr
+               ? fix.network.obs().metrics.counter_at(info->slot).value()
+               : 0;
+  };
+
+  const std::uint64_t wants = counter("ipfsmon_bitswap_want_have_sent_total") +
+                              counter("ipfsmon_bitswap_want_block_sent_total");
+  const std::uint64_t cancels = counter("ipfsmon_bitswap_cancels_sent_total");
+  const std::uint64_t recorded =
+      counter("ipfsmon_monitor_trace_entries_total");
+
+  EXPECT_GT(wants, 0u);
+  EXPECT_GT(cancels, 0u);
+  EXPECT_EQ(counter("ipfsmon_net_messages_dropped_total"), 0u);
+  EXPECT_EQ(wants + cancels, recorded);
+  EXPECT_EQ(recorded, mon.recorded().size());
+}
+
+}  // namespace
+}  // namespace ipfsmon::obs
