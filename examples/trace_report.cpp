@@ -6,61 +6,109 @@
 // activity by type/codec/country, popularity (RRP/URP + power-law test),
 // and the most active peers.
 //
-// Usage: trace_report <trace-file> [<trace-file> ...]
-//        trace_report --demo        (generate a demo trace first)
+// Arguments may also be trace-store *directories* (as written by a
+// spilling monitor, see src/tracestore). Those are unified out-of-core —
+// k-way merged into a flagged on-disk store and analyzed by streaming, so
+// the unified trace is never resident in memory.
+//
+// Usage: trace_report <trace-file-or-store-dir> [...]
+//        trace_report --demo         (generate demo trace files first)
+//        trace_report --demo-store   (demo with monitors spilling to disk)
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
+#include <unordered_map>
 
 #include "analysis/aggregate.hpp"
+#include "cid/multicodec.hpp"
 #include "analysis/popularity.hpp"
 #include "analysis/powerlaw.hpp"
 #include "scenario/study.hpp"
 #include "trace/io.hpp"
 #include "trace/preprocess.hpp"
+#include "tracestore/merge.hpp"
+#include "tracestore/scan.hpp"
 #include "util/strings.hpp"
 
 using namespace ipfsmon;
 
 namespace {
 
+/// Everything the report prints, fed one entry at a time — shared between
+/// the in-memory path and the streaming out-of-core path.
+struct ReportAccumulators {
+  explicit ReportAccumulators(const net::GeoDatabase& geo)
+      : by_type([](const trace::TraceEntry& e) {
+          return std::string(bitswap::want_type_name(e.type));
+        }),
+        by_codec([](const trace::TraceEntry& e) {
+          return std::string(cid::multicodec_name(e.cid.codec()));
+        }),
+        by_country([&geo](const trace::TraceEntry& e) {
+          return geo.lookup(e.address);
+        }) {}
 
+  void add(const trace::TraceEntry& e) {
+    stats.add(e);
+    by_type.add(e);
+    by_codec.add(e);
+    if (e.is_clean()) by_country.add(e);
+    popularity.add(e);
+    if (e.is_request()) {
+      ++requests;
+      if (e.is_rebroadcast()) ++request_rebroadcasts;
+      ++per_peer[e.peer];
+    }
+  }
 
-void report(const trace::Trace& unified, const net::GeoDatabase& geo) {
-  const trace::TraceStats stats = trace::compute_stats(unified);
+  trace::StatsAccumulator stats;
+  analysis::ShareAccumulator by_type;
+  analysis::ShareAccumulator by_codec;
+  analysis::ShareAccumulator by_country;  // fed clean entries only
+  analysis::PopularityAccumulator popularity;
+  std::uint64_t requests = 0;
+  std::uint64_t request_rebroadcasts = 0;
+  std::unordered_map<crypto::PeerId, std::uint64_t> per_peer;
+};
+
+void print_report(const ReportAccumulators& acc) {
+  const trace::TraceStats stats = acc.stats.stats();
+  const double rebroadcast_share =
+      acc.requests == 0 ? 0.0
+                        : static_cast<double>(acc.request_rebroadcasts) /
+                              static_cast<double>(acc.requests);
   std::printf("entries: %zu (%zu requests, %zu cancels)\n", stats.total,
               stats.requests, stats.cancels);
   std::printf("peers:   %zu unique   cids: %zu unique\n", stats.unique_peers,
               stats.unique_cids);
   std::printf("flags:   %zu re-broadcasts (%.1f%% of requests), "
               "%zu inter-monitor duplicates\n",
-              stats.rebroadcasts, 100.0 * trace::rebroadcast_share(unified),
+              stats.rebroadcasts, 100.0 * rebroadcast_share,
               stats.inter_monitor_duplicates);
 
   std::printf("\nrequests by type:\n");
-  for (const auto& row : analysis::share_by(
-           unified, [](const trace::TraceEntry& e) {
-             return std::string(bitswap::want_type_name(e.type));
-           })) {
+  for (const auto& row : acc.by_type.rows()) {
     std::printf("  %-12s %10llu  %6.2f%%\n", row.label.c_str(),
                 static_cast<unsigned long long>(row.count), row.share_percent);
   }
 
   std::printf("\nrequests by codec:\n");
-  for (const auto& row : analysis::share_by_codec(unified)) {
+  for (const auto& row : acc.by_codec.rows()) {
     std::printf("  %-14s %10llu  %6.2f%%\n", row.label.c_str(),
                 static_cast<unsigned long long>(row.count), row.share_percent);
   }
 
   std::printf("\nrequests by country (deduplicated):\n");
-  const auto by_country = analysis::share_by_country(unified.deduplicated(), geo);
+  const auto by_country = acc.by_country.rows();
   for (std::size_t i = 0; i < by_country.size() && i < 8; ++i) {
     std::printf("  %-6s %10llu  %6.2f%%\n", by_country[i].label.c_str(),
                 static_cast<unsigned long long>(by_country[i].count),
                 by_country[i].share_percent);
   }
 
-  const auto popularity = analysis::compute_popularity(unified);
+  const auto popularity = acc.popularity.scores();
   std::printf("\npopularity: %zu scored CIDs, %.1f%% requested by one peer\n",
               popularity.urp.size(),
               100.0 * popularity.single_requester_share());
@@ -78,47 +126,28 @@ void report(const trace::Trace& unified, const net::GeoDatabase& geo) {
               test.rejected() ? "REJECTED" : "not rejected");
 
   std::printf("\nmost active peers:\n");
-  const auto per_peer = analysis::requests_per_peer(unified);
+  std::vector<std::pair<crypto::PeerId, std::uint64_t>> per_peer(
+      acc.per_peer.begin(), acc.per_peer.end());
+  std::sort(per_peer.begin(), per_peer.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
   for (std::size_t i = 0; i < per_peer.size() && i < 5; ++i) {
     std::printf("  %s  %llu requests\n", per_peer[i].first.short_hex().c_str(),
                 static_cast<unsigned long long>(per_peer[i].second));
   }
 }
 
-std::string make_demo_trace() {
-  std::printf("generating a demo trace (small monitoring study)...\n");
-  scenario::StudyConfig config;
-  config.population.node_count = 150;
-  config.catalog.item_count = 400;
-  config.warmup = 2 * util::kHour;
-  config.duration = 6 * util::kHour;
-  scenario::MonitoringStudy study(config);
-  study.run();
-  const std::string path = "/tmp/ipfsmon_demo_trace.csv";
-  trace::save_csv(path, study.monitor(0).recorded());
-  const std::string path1 = "/tmp/ipfsmon_demo_trace_m1.bin";
-  trace::save_binary(path1, study.monitor(1).recorded());
-  std::printf("wrote %s and %s\n\n", path.c_str(), path1.c_str());
-  return path + " " + path1;
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  std::vector<std::string> paths;
-  if (argc < 2 || std::strcmp(argv[1], "--demo") == 0) {
-    const std::string demo = make_demo_trace();
-    for (const auto& p : util::split(demo, ' ')) paths.push_back(p);
-  } else {
-    for (int i = 1; i < argc; ++i) paths.emplace_back(argv[i]);
-  }
-
+int report_files(const std::vector<std::string>& paths,
+                 const net::GeoDatabase& geo) {
   std::vector<trace::Trace> traces;
   for (const auto& path : paths) {
-    auto t = trace::load_any(path);
+    trace::LoadError why = trace::LoadError::kNone;
+    auto t = trace::load_any(path, &why);
     if (!t) {
-      std::fprintf(stderr, "error: cannot parse %s (neither binary nor CSV)\n",
-                   path.c_str());
+      std::fprintf(stderr, "error: cannot load %s: %s\n", path.c_str(),
+                   std::string(trace::load_error_name(why)).c_str());
       return 1;
     }
     std::printf("loaded %s: %zu entries\n", path.c_str(), t->size());
@@ -130,6 +159,144 @@ int main(int argc, char** argv) {
   const trace::Trace unified = trace::unify(pointers);
 
   std::printf("\n=== unified trace report ===\n");
-  report(unified, net::GeoDatabase::standard());
+  ReportAccumulators acc(geo);
+  for (const auto& e : unified.entries()) acc.add(e);
+  print_report(acc);
   return 0;
+}
+
+int report_stores(const std::vector<std::string>& dirs,
+                  const net::GeoDatabase& geo) {
+  std::vector<tracestore::TraceStore> stores;
+  for (const auto& dir : dirs) {
+    std::string error;
+    auto store = tracestore::TraceStore::open(dir, {}, &error);
+    if (!store) {
+      std::fprintf(stderr, "error: cannot open store %s: %s\n", dir.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    for (const auto& w : store->warnings()) {
+      std::fprintf(stderr, "warning: %s\n", w.c_str());
+    }
+    std::printf("opened store %s: %llu entries in %zu segments (%.1f MiB)\n",
+                dir.c_str(),
+                static_cast<unsigned long long>(store->total_entries()),
+                store->segments().size(),
+                static_cast<double>(store->total_bytes()) / (1024.0 * 1024.0));
+    stores.push_back(std::move(*store));
+  }
+
+  // Unify out-of-core: k-way merge + streaming flags into a scratch store,
+  // so the unified trace never lives in memory.
+  const std::string unified_dir =
+      (std::filesystem::temp_directory_path() / "ipfsmon_trace_report_unified")
+          .string();
+  std::string error;
+  auto writer = tracestore::SegmentWriter::create(unified_dir, {}, &error);
+  if (writer == nullptr) {
+    std::fprintf(stderr, "error: cannot create scratch store %s: %s\n",
+                 unified_dir.c_str(), error.c_str());
+    return 1;
+  }
+  std::vector<const tracestore::TraceStore*> inputs;
+  for (const auto& s : stores) inputs.push_back(&s);
+  const tracestore::UnifyStats unify_stats =
+      tracestore::unify_to_store(inputs, *writer);
+  if (!writer->finalize()) {
+    std::fprintf(stderr, "error: failed to finalize %s\n", unified_dir.c_str());
+    return 1;
+  }
+  std::printf("unified out-of-core into %s: %llu entries, "
+              "peak window state %zu keys\n",
+              unified_dir.c_str(),
+              static_cast<unsigned long long>(unify_stats.entries),
+              unify_stats.peak_window_keys);
+
+  auto unified = tracestore::TraceStore::open(unified_dir, {}, &error);
+  if (!unified) {
+    std::fprintf(stderr, "error: cannot reopen %s: %s\n", unified_dir.c_str(),
+                 error.c_str());
+    return 1;
+  }
+
+  std::printf("\n=== unified trace report (streamed) ===\n");
+  ReportAccumulators acc(geo);
+  tracestore::ScanExecutor executor;
+  const tracestore::ScanStats scan_stats = executor.scan(
+      *unified, tracestore::ScanQuery{},
+      [&acc](const trace::TraceEntry& e) { acc.add(e); });
+  print_report(acc);
+  std::printf("\nscan: %zu/%zu segments decoded on %zu threads\n",
+              scan_stats.segments_scanned, scan_stats.segments_total,
+              executor.threads());
+  for (const auto& w : unified->warnings()) {
+    std::fprintf(stderr, "warning: %s\n", w.c_str());
+  }
+  return 0;
+}
+
+scenario::StudyConfig demo_config() {
+  scenario::StudyConfig config;
+  config.population.node_count = 150;
+  config.catalog.item_count = 400;
+  config.warmup = 2 * util::kHour;
+  config.duration = 6 * util::kHour;
+  return config;
+}
+
+std::vector<std::string> make_demo_trace() {
+  std::printf("generating a demo trace (small monitoring study)...\n");
+  scenario::MonitoringStudy study(demo_config());
+  study.run();
+  const std::string path = "/tmp/ipfsmon_demo_trace.csv";
+  trace::save_csv(path, study.monitor(0).recorded());
+  const std::string path1 = "/tmp/ipfsmon_demo_trace_m1.bin";
+  trace::save_binary(path1, study.monitor(1).recorded());
+  std::printf("wrote %s and %s\n\n", path.c_str(), path1.c_str());
+  return {path, path1};
+}
+
+std::vector<std::string> make_demo_stores() {
+  std::printf("generating demo trace stores (monitors spill to disk)...\n");
+  scenario::StudyConfig config = demo_config();
+  config.monitor_spill_dir = "/tmp/ipfsmon_demo_stores";
+  scenario::MonitoringStudy study(config);
+  study.run();
+  if (!study.finalize_monitor_spill()) {
+    std::fprintf(stderr, "error: finalizing monitor spill stores failed\n");
+    return {};
+  }
+  const std::vector<std::string> dirs = study.monitor_store_dirs();
+  for (const auto& d : dirs) std::printf("wrote store %s\n", d.c_str());
+  std::printf("\n");
+  return dirs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  if (argc >= 2 && std::strcmp(argv[1], "--demo-store") == 0) {
+    paths = make_demo_stores();
+    if (paths.empty()) return 1;
+  } else if (argc < 2 || std::strcmp(argv[1], "--demo") == 0) {
+    paths = make_demo_trace();
+  } else {
+    for (int i = 1; i < argc; ++i) paths.emplace_back(argv[i]);
+  }
+
+  std::size_t dir_count = 0;
+  for (const auto& p : paths) {
+    if (std::filesystem::is_directory(p)) ++dir_count;
+  }
+  const net::GeoDatabase geo = net::GeoDatabase::standard();
+  if (dir_count == paths.size()) return report_stores(paths, geo);
+  if (dir_count != 0) {
+    std::fprintf(stderr,
+                 "error: mixing trace files and store directories is not "
+                 "supported; pass one kind\n");
+    return 1;
+  }
+  return report_files(paths, geo);
 }

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, run the full test suite, then
-# rebuild the obs suite under AddressSanitizer and run `ctest -L obs`.
+# rebuild the obs + tracestore suites under AddressSanitizer and run
+# `ctest -L 'obs|tracestore'`.
 #
 # Usage: scripts/check.sh [--no-asan]
 set -euo pipefail
@@ -20,10 +21,10 @@ cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure
 
 if [[ "$RUN_ASAN" == "1" ]]; then
-  echo "== asan: obs suite under -DIPFSMON_SANITIZE=address =="
+  echo "== asan: obs + tracestore suites under -DIPFSMON_SANITIZE=address =="
   cmake -B build-asan -S . -DIPFSMON_SANITIZE=address >/dev/null
-  cmake --build build-asan -j "$JOBS" --target obs_test
-  ctest --test-dir build-asan -L obs --output-on-failure
+  cmake --build build-asan -j "$JOBS" --target obs_test tracestore_test
+  ctest --test-dir build-asan -L 'obs|tracestore' --output-on-failure
 fi
 
 echo "== all checks passed =="

@@ -28,15 +28,25 @@ std::vector<ShareRow> to_share_rows(
 }
 }  // namespace
 
+ShareAccumulator::ShareAccumulator(
+    std::function<std::string(const trace::TraceEntry&)> group)
+    : group_(std::move(group)) {}
+
+void ShareAccumulator::add(const trace::TraceEntry& entry) {
+  if (!entry.is_request()) return;
+  ++counts_[group_(entry)];
+}
+
+std::vector<ShareRow> ShareAccumulator::rows() const {
+  return to_share_rows(counts_);
+}
+
 std::vector<ShareRow> share_by(
     const trace::Trace& trace,
     const std::function<std::string(const trace::TraceEntry&)>& group) {
-  std::unordered_map<std::string, std::uint64_t> counts;
-  for (const auto& e : trace.entries()) {
-    if (!e.is_request()) continue;
-    ++counts[group(e)];
-  }
-  return to_share_rows(std::move(counts));
+  ShareAccumulator acc(group);
+  for (const auto& e : trace.entries()) acc.add(e);
+  return acc.rows();
 }
 
 std::vector<ShareRow> share_by_codec(const trace::Trace& raw) {

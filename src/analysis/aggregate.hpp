@@ -7,6 +7,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/geo.hpp"
@@ -33,6 +34,22 @@ std::vector<ShareRow> share_by_country(const trace::Trace& deduplicated,
 std::vector<ShareRow> share_by(
     const trace::Trace& trace,
     const std::function<std::string(const trace::TraceEntry&)>& group);
+
+/// Incremental share table for streaming consumers (scan visitors, the
+/// out-of-core unify): same rows as share_by without materializing a
+/// Trace. Non-request entries are ignored, matching share_by.
+class ShareAccumulator {
+ public:
+  explicit ShareAccumulator(
+      std::function<std::string(const trace::TraceEntry&)> group);
+
+  void add(const trace::TraceEntry& entry);
+  std::vector<ShareRow> rows() const;
+
+ private:
+  std::function<std::string(const trace::TraceEntry&)> group_;
+  std::unordered_map<std::string, std::uint64_t> counts_;
+};
 
 /// Fig. 4: per-bucket counts of WANT_BLOCK vs WANT_HAVE request entries.
 struct TypeBucket {

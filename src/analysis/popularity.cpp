@@ -56,20 +56,30 @@ double PopularityScores::single_requester_share() const {
   return static_cast<double>(singles) / static_cast<double>(urp.size());
 }
 
-PopularityScores compute_popularity(const trace::Trace& trace,
-                                    bool clean_only) {
+PopularityAccumulator::PopularityAccumulator(bool clean_only)
+    : clean_only_(clean_only) {}
+
+void PopularityAccumulator::add(const trace::TraceEntry& e) {
+  if (!e.is_request()) return;
+  if (clean_only_ && !e.is_clean()) return;
+  ++rrp_[e.cid];
+  requesters_[e.cid].insert(e.peer);
+}
+
+PopularityScores PopularityAccumulator::scores() const {
   PopularityScores scores;
-  std::unordered_map<cid::Cid, std::unordered_set<crypto::PeerId>> requesters;
-  for (const auto& e : trace.entries()) {
-    if (!e.is_request()) continue;
-    if (clean_only && !e.is_clean()) continue;
-    ++scores.rrp[e.cid];
-    requesters[e.cid].insert(e.peer);
-  }
-  for (const auto& [cid, peers] : requesters) {
+  scores.rrp = rrp_;
+  for (const auto& [cid, peers] : requesters_) {
     scores.urp[cid] = peers.size();
   }
   return scores;
+}
+
+PopularityScores compute_popularity(const trace::Trace& trace,
+                                    bool clean_only) {
+  PopularityAccumulator acc(clean_only);
+  for (const auto& e : trace.entries()) acc.add(e);
+  return acc.scores();
 }
 
 }  // namespace ipfsmon::analysis

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "trace/trace.hpp"
@@ -33,5 +34,21 @@ struct PopularityScores {
 /// (the paper's analyses filter both).
 PopularityScores compute_popularity(const trace::Trace& trace,
                                     bool clean_only = true);
+
+/// Incremental popularity scoring for streaming consumers. Memory is the
+/// per-CID requester sets (what compute_popularity allocates anyway),
+/// never the trace itself.
+class PopularityAccumulator {
+ public:
+  explicit PopularityAccumulator(bool clean_only = true);
+
+  void add(const trace::TraceEntry& entry);
+  PopularityScores scores() const;
+
+ private:
+  bool clean_only_;
+  std::unordered_map<cid::Cid, std::uint64_t> rrp_;
+  std::unordered_map<cid::Cid, std::unordered_set<crypto::PeerId>> requesters_;
+};
 
 }  // namespace ipfsmon::analysis

@@ -7,25 +7,26 @@
 
 namespace ipfsmon::attacks {
 
-std::vector<IdwHit> identify_data_wanters(const trace::Trace& unified,
-                                          const cid::Cid& target) {
-  std::unordered_map<crypto::PeerId, IdwHit> hits;
-  for (const auto& e : unified.entries()) {
-    if (e.cid != target) continue;
-    if (e.type == bitswap::WantType::Cancel) {
-      const auto it = hits.find(e.peer);
-      if (it != hits.end()) it->second.cancelled = true;
-      continue;
-    }
-    if (!e.is_clean()) continue;
-    auto& hit = hits[e.peer];
-    hit.peer = e.peer;
-    hit.address = e.address;
-    hit.request_times.push_back(e.timestamp);
+IdwAccumulator::IdwAccumulator(cid::Cid target) : target_(std::move(target)) {}
+
+void IdwAccumulator::add(const trace::TraceEntry& e) {
+  if (e.cid != target_) return;
+  if (e.type == bitswap::WantType::Cancel) {
+    const auto it = hits_.find(e.peer);
+    if (it != hits_.end()) it->second.cancelled = true;
+    return;
   }
+  if (!e.is_clean()) return;
+  auto& hit = hits_[e.peer];
+  hit.peer = e.peer;
+  hit.address = e.address;
+  hit.request_times.push_back(e.timestamp);
+}
+
+std::vector<IdwHit> IdwAccumulator::hits() const {
   std::vector<IdwHit> out;
-  out.reserve(hits.size());
-  for (auto& [peer, hit] : hits) out.push_back(std::move(hit));
+  out.reserve(hits_.size());
+  for (const auto& [peer, hit] : hits_) out.push_back(hit);
   std::sort(out.begin(), out.end(), [](const IdwHit& a, const IdwHit& b) {
     const util::SimTime ta =
         a.request_times.empty() ? 0 : a.request_times.front();
@@ -37,34 +38,50 @@ std::vector<IdwHit> identify_data_wanters(const trace::Trace& unified,
   return out;
 }
 
-std::vector<TnwHit> track_node_wants(const trace::Trace& unified,
-                                     const crypto::PeerId& target) {
-  std::map<cid::Cid, TnwHit> hits;
-  for (const auto& e : unified.entries()) {
-    if (e.peer != target) continue;
-    if (e.type == bitswap::WantType::Cancel) {
-      const auto it = hits.find(e.cid);
-      if (it != hits.end()) it->second.cancelled = true;
-      continue;
-    }
-    auto [it, inserted] = hits.try_emplace(e.cid);
-    TnwHit& hit = it->second;
-    if (inserted) {
-      hit.cid = e.cid;
-      hit.first_type = e.type;
-      hit.first_seen = e.timestamp;
-    }
-    hit.last_seen = std::max(hit.last_seen, e.timestamp);
-    ++hit.observations;
+std::vector<IdwHit> identify_data_wanters(const trace::Trace& unified,
+                                          const cid::Cid& target) {
+  IdwAccumulator acc(target);
+  for (const auto& e : unified.entries()) acc.add(e);
+  return acc.hits();
+}
+
+TnwAccumulator::TnwAccumulator(crypto::PeerId target)
+    : target_(std::move(target)) {}
+
+void TnwAccumulator::add(const trace::TraceEntry& e) {
+  if (e.peer != target_) return;
+  if (e.type == bitswap::WantType::Cancel) {
+    const auto it = hits_.find(e.cid);
+    if (it != hits_.end()) it->second.cancelled = true;
+    return;
   }
+  auto [it, inserted] = hits_.try_emplace(e.cid);
+  TnwHit& hit = it->second;
+  if (inserted) {
+    hit.cid = e.cid;
+    hit.first_type = e.type;
+    hit.first_seen = e.timestamp;
+  }
+  hit.last_seen = std::max(hit.last_seen, e.timestamp);
+  ++hit.observations;
+}
+
+std::vector<TnwHit> TnwAccumulator::hits() const {
   std::vector<TnwHit> out;
-  out.reserve(hits.size());
-  for (auto& [cid, hit] : hits) out.push_back(std::move(hit));
+  out.reserve(hits_.size());
+  for (const auto& [cid, hit] : hits_) out.push_back(hit);
   std::sort(out.begin(), out.end(), [](const TnwHit& a, const TnwHit& b) {
     if (a.first_seen != b.first_seen) return a.first_seen < b.first_seen;
     return a.cid < b.cid;
   });
   return out;
+}
+
+std::vector<TnwHit> track_node_wants(const trace::Trace& unified,
+                                     const crypto::PeerId& target) {
+  TnwAccumulator acc(target);
+  for (const auto& e : unified.entries()) acc.add(e);
+  return acc.hits();
 }
 
 std::vector<std::pair<crypto::PeerId, std::vector<net::Address>>>

@@ -5,6 +5,8 @@
 // *is* the attack infrastructure.
 #pragma once
 
+#include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "trace/trace.hpp"
@@ -43,5 +45,33 @@ std::vector<TnwHit> track_node_wants(const trace::Trace& unified,
 /// step of the gateway investigation, Sec. VI-B2).
 std::vector<std::pair<crypto::PeerId, std::vector<net::Address>>>
 peers_with_multiple_addresses(const trace::Trace& unified);
+
+/// Streaming IDW: feed unified entries (e.g. from a Bloom-pruned store
+/// scan on the target CID) and collect the same hits as
+/// identify_data_wanters without materializing the trace.
+class IdwAccumulator {
+ public:
+  explicit IdwAccumulator(cid::Cid target);
+
+  void add(const trace::TraceEntry& entry);
+  std::vector<IdwHit> hits() const;
+
+ private:
+  cid::Cid target_;
+  std::unordered_map<crypto::PeerId, IdwHit> hits_;
+};
+
+/// Streaming TNW: the same rows as track_node_wants, fed entry by entry.
+class TnwAccumulator {
+ public:
+  explicit TnwAccumulator(crypto::PeerId target);
+
+  void add(const trace::TraceEntry& entry);
+  std::vector<TnwHit> hits() const;
+
+ private:
+  crypto::PeerId target_;
+  std::map<cid::Cid, TnwHit> hits_;
+};
 
 }  // namespace ipfsmon::attacks

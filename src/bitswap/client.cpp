@@ -278,8 +278,7 @@ void BitswapClient::send_cancels(const WantStatePtr& state) {
   state->told.clear();
 }
 
-void BitswapClient::complete(const WantStatePtr& state,
-                             const dag::BlockPtr& block) {
+void BitswapClient::complete(WantStatePtr state, const dag::BlockPtr& block) {
   if (state->done) return;
   state->done = true;
   state->rebroadcast_timer.cancel();
@@ -297,7 +296,7 @@ void BitswapClient::complete(const WantStatePtr& state,
   }
 }
 
-void BitswapClient::fail(const WantStatePtr& state) {
+void BitswapClient::fail(WantStatePtr state) {
   if (state->done) return;
   state->done = true;
   state->rebroadcast_timer.cancel();

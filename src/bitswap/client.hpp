@@ -145,8 +145,10 @@ class BitswapClient {
   void try_next_candidate(const WantStatePtr& state);
   void start_provider_search(const WantStatePtr& state);
   void on_rebroadcast(const WantStatePtr& state);
-  void complete(const WantStatePtr& state, const dag::BlockPtr& block);
-  void fail(const WantStatePtr& state);
+  // By value: both erase the state from active_ mid-function, which would
+  // destroy a caller's reference into the map (e.g. cancel()'s it->second).
+  void complete(WantStatePtr state, const dag::BlockPtr& block);
+  void fail(WantStatePtr state);
   void send_cancels(const WantStatePtr& state);
   void arm_deadline(const WantStatePtr& state);
   void arm_rebroadcast(const WantStatePtr& state);

@@ -21,7 +21,10 @@ PassiveMonitor::PassiveMonitor(net::Network& network, crypto::KeyPair keys,
     : node::IpfsNode(network, std::move(keys), address, country,
                      monitorize(config.node), std::move(rng)),
       monitor_id_(config.monitor_id),
-      snapshot_interval_(config.snapshot_interval) {
+      snapshot_interval_(config.snapshot_interval),
+      spill_dir_(config.spill_dir),
+      spill_segment_entries_(config.spill_segment_entries),
+      spill_segment_span_(config.spill_segment_span) {
   engine().set_listener([this](const crypto::PeerId& from,
                                net::ConnectionId /*conn*/,
                                const bitswap::BitswapMessage& message) {
@@ -41,6 +44,26 @@ PassiveMonitor::PassiveMonitor(net::Network& network, crypto::KeyPair keys,
   metrics_.coverage_mean =
       &reg.gauge("ipfsmon_monitor_coverage_mean_peers",
                  "Mean connected-peer-set size over snapshots", label);
+  if (!spill_dir_.empty()) start_spill();
+}
+
+void PassiveMonitor::start_spill() {
+  tracestore::StoreOptions options;
+  options.max_entries_per_segment = spill_segment_entries_;
+  options.max_segment_span = spill_segment_span_;
+  options.obs = &network().obs();
+  std::string error;
+  spill_ = tracestore::SegmentWriter::create(spill_dir_, options, &error);
+  if (spill_ == nullptr) {
+    network().obs().events.emit(network().scheduler().now(),
+                                obs::Severity::kError, "monitor",
+                                "spill store unavailable, recording in "
+                                "memory: " + error);
+  }
+}
+
+bool PassiveMonitor::finalize_spill() {
+  return spill_ != nullptr && spill_->finalize();
 }
 
 void PassiveMonitor::record_message(const crypto::PeerId& from,
@@ -61,10 +84,16 @@ void PassiveMonitor::record_message(const crypto::PeerId& from,
     // salts, every request looks like a distinct, unlinkable CID.
     t.cid = entry.salted ? bitswap::opaque_cid_for(entry) : entry.cid;
     t.monitor = monitor_id_;
-    trace_.append(std::move(t));
+    if (spill_ != nullptr) {
+      spill_->append(t);
+    } else {
+      trace_.append(std::move(t));
+    }
     metrics_.trace_entries->inc();
   }
-  metrics_.trace_size->set(static_cast<double>(trace_.size()));
+  metrics_.trace_size->set(
+      spill_ != nullptr ? static_cast<double>(spill_->entries_written())
+                        : static_cast<double>(trace_.size()));
 }
 
 void PassiveMonitor::on_peer_connected_hook(const crypto::PeerId& peer) {
@@ -95,6 +124,12 @@ void PassiveMonitor::schedule_snapshot() {
 
 void PassiveMonitor::reset_observations() {
   trace_ = trace::Trace{};
+  // Spilling monitors restart with a clean store directory (create()
+  // removes previous segments), mirroring the in-memory trace reset.
+  if (spill_ != nullptr) {
+    spill_.reset();  // destructor finalizes; create() below wipes it
+    start_spill();
+  }
   snapshots_.clear();
   peers_seen_.clear();
   bitswap_active_.clear();

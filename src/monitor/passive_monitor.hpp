@@ -7,10 +7,12 @@
 #pragma once
 
 #include <limits>
+#include <memory>
 #include <unordered_set>
 
 #include "node/ipfs_node.hpp"
 #include "trace/trace.hpp"
+#include "tracestore/store.hpp"
 
 namespace ipfsmon::monitor {
 
@@ -19,6 +21,14 @@ struct MonitorConfig {
   /// Periodic connected-peer-set snapshots feed the network-size
   /// estimators (Sec. IV-C).
   util::SimDuration snapshot_interval = 1 * util::kHour;
+  /// When non-empty, the monitor spills its recording into an on-disk
+  /// trace store (tracestore::SegmentWriter) at this directory instead of
+  /// growing an in-memory trace — the out-of-core path for long studies.
+  /// recorded() stays empty in that mode; consume the store instead.
+  std::string spill_dir;
+  /// Segment roll caps for the spill store.
+  std::uint64_t spill_segment_entries = 1u << 16;
+  util::SimDuration spill_segment_span = 6 * util::kHour;
   /// Base node behaviour. Overridden where monitoring requires: unlimited
   /// degree, no eviction, DHT server mode, no active discovery.
   node::NodeConfig node;
@@ -38,9 +48,18 @@ class PassiveMonitor : public node::IpfsNode {
 
   trace::MonitorId monitor_id() const { return monitor_id_; }
 
-  /// The raw trace recorded so far.
+  /// The raw trace recorded so far (empty when spilling to a store).
   const trace::Trace& recorded() const { return trace_; }
   trace::Trace& recorded() { return trace_; }
+
+  /// True when this monitor spills to an on-disk store.
+  bool spilling() const { return spill_ != nullptr; }
+  /// Directory of the spill store ("" when not spilling).
+  const std::string& spill_dir() const { return spill_dir_; }
+  /// Flushes the open segment and publishes the store manifest. Call after
+  /// the measurement window; the store is unreadable before this. Returns
+  /// false when not spilling or on IO failure.
+  bool finalize_spill();
 
   /// Starts periodic peer-set snapshots (call after go_online).
   void start_snapshots();
@@ -69,8 +88,14 @@ class PassiveMonitor : public node::IpfsNode {
                       const bitswap::BitswapMessage& message);
   void schedule_snapshot();
 
+  void start_spill();
+
   trace::MonitorId monitor_id_;
   util::SimDuration snapshot_interval_;
+  std::string spill_dir_;
+  std::uint64_t spill_segment_entries_;
+  util::SimDuration spill_segment_span_;
+  std::unique_ptr<tracestore::SegmentWriter> spill_;
   trace::Trace trace_;
   std::vector<PeerSnapshot> snapshots_;
   std::unordered_set<crypto::PeerId> peers_seen_;

@@ -35,6 +35,10 @@ MonitoringStudy::MonitoringStudy(StudyConfig config)
     monitor::MonitorConfig mon_config;
     mon_config.monitor_id = static_cast<trace::MonitorId>(i);
     mon_config.snapshot_interval = config_.snapshot_interval;
+    if (!config_.monitor_spill_dir.empty()) {
+      mon_config.spill_dir =
+          config_.monitor_spill_dir + "/monitor-" + std::to_string(i);
+    }
     mon_config.node = config_.population.node;
     mon_config.node.discovery_weight = config_.monitor_discovery_weight;
     if (config_.use_active_monitors) {
@@ -159,6 +163,22 @@ trace::Trace MonitoringStudy::unified_trace(
   traces.reserve(monitors_.size());
   for (const auto& m : monitors_) traces.push_back(&m->recorded());
   return trace::unify(traces, options);
+}
+
+bool MonitoringStudy::finalize_monitor_spill() {
+  bool ok = !monitors_.empty();
+  for (auto& m : monitors_) {
+    if (!m->finalize_spill()) ok = false;
+  }
+  return ok;
+}
+
+std::vector<std::string> MonitoringStudy::monitor_store_dirs() const {
+  std::vector<std::string> out;
+  for (const auto& m : monitors_) {
+    if (m->spilling()) out.push_back(m->spill_dir());
+  }
+  return out;
 }
 
 std::vector<std::vector<std::vector<crypto::PeerId>>>

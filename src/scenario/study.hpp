@@ -28,6 +28,12 @@ struct StudyConfig {
   double monitor_discovery_weight = 8.0;
   util::SimDuration snapshot_interval = 1 * util::kHour;
 
+  /// When non-empty, each monitor spills its recording into an on-disk
+  /// trace store at <monitor_spill_dir>/monitor-<id> instead of RAM (the
+  /// out-of-core path; see src/tracestore). unified_trace() is then empty —
+  /// use finalize_monitor_spill() + tracestore::unify_stores instead.
+  std::string monitor_spill_dir;
+
   /// Use crawling ActiveMonitors instead of purely passive ones — the
   /// "more active peer discovery mechanism" the paper suggests for
   /// increasing coverage (at the cost of stealth).
@@ -96,6 +102,11 @@ class MonitoringStudy {
 
   /// Unified, flag-marked trace across all monitors (Sec. IV-B).
   trace::Trace unified_trace(const trace::PreprocessOptions& options = {}) const;
+
+  /// Spill-mode helpers: publishes every monitor's store manifest and
+  /// returns the store directories (empty when spilling is off).
+  bool finalize_monitor_spill();
+  std::vector<std::string> monitor_store_dirs() const;
 
   /// Matched per-monitor peer-set snapshots (input to the estimators):
   /// snapshots[t][m] = monitor m's peer set at snapshot index t.

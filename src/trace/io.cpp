@@ -1,5 +1,6 @@
 #include "trace/io.hpp"
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <unordered_map>
@@ -294,6 +295,30 @@ std::optional<Trace> read_binary_compact(std::istream& in) {
   return trace;
 }
 
+namespace {
+/// Distinguishes "file missing" from other open failures for the loaders'
+/// error out-channel.
+LoadError classify_open_failure(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec) ? LoadError::kOpenFailed
+                                           : LoadError::kFileMissing;
+}
+
+void set_error(LoadError* out, LoadError error) {
+  if (out != nullptr) *out = error;
+}
+}  // namespace
+
+std::string_view load_error_name(LoadError error) {
+  switch (error) {
+    case LoadError::kNone: return "ok";
+    case LoadError::kFileMissing: return "file missing";
+    case LoadError::kOpenFailed: return "cannot open file";
+    case LoadError::kCorrupt: return "corrupt or unsupported format";
+  }
+  return "unknown";
+}
+
 bool save_binary_compact(const std::string& path, const Trace& trace) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return false;
@@ -301,16 +326,36 @@ bool save_binary_compact(const std::string& path, const Trace& trace) {
   return static_cast<bool>(out);
 }
 
-std::optional<Trace> load_binary_compact(const std::string& path) {
+std::optional<Trace> load_binary_compact(const std::string& path,
+                                         LoadError* error) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
-  return read_binary_compact(in);
+  if (!in) {
+    set_error(error, classify_open_failure(path));
+    return std::nullopt;
+  }
+  auto trace = read_binary_compact(in);
+  set_error(error, trace ? LoadError::kNone : LoadError::kCorrupt);
+  return trace;
 }
 
-std::optional<Trace> load_any(const std::string& path) {
-  if (auto t = load_binary_compact(path)) return t;
-  if (auto t = load_binary(path)) return t;
-  return load_csv(path);
+std::optional<Trace> load_any(const std::string& path, LoadError* error) {
+  LoadError first;
+  if (auto t = load_binary_compact(path, &first)) {
+    set_error(error, LoadError::kNone);
+    return t;
+  }
+  if (first != LoadError::kCorrupt) {
+    // Missing/unopenable for one loader is missing for all of them.
+    set_error(error, first);
+    return std::nullopt;
+  }
+  if (auto t = load_binary(path)) {
+    set_error(error, LoadError::kNone);
+    return t;
+  }
+  auto t = load_csv(path);
+  set_error(error, t ? LoadError::kNone : LoadError::kCorrupt);
+  return t;
 }
 
 bool save_csv(const std::string& path, const Trace& trace) {
@@ -320,10 +365,15 @@ bool save_csv(const std::string& path, const Trace& trace) {
   return static_cast<bool>(out);
 }
 
-std::optional<Trace> load_csv(const std::string& path) {
+std::optional<Trace> load_csv(const std::string& path, LoadError* error) {
   std::ifstream in(path);
-  if (!in) return std::nullopt;
-  return read_csv(in);
+  if (!in) {
+    set_error(error, classify_open_failure(path));
+    return std::nullopt;
+  }
+  auto trace = read_csv(in);
+  set_error(error, trace ? LoadError::kNone : LoadError::kCorrupt);
+  return trace;
 }
 
 bool save_binary(const std::string& path, const Trace& trace) {
@@ -333,10 +383,15 @@ bool save_binary(const std::string& path, const Trace& trace) {
   return static_cast<bool>(out);
 }
 
-std::optional<Trace> load_binary(const std::string& path) {
+std::optional<Trace> load_binary(const std::string& path, LoadError* error) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
-  return read_binary(in);
+  if (!in) {
+    set_error(error, classify_open_failure(path));
+    return std::nullopt;
+  }
+  auto trace = read_binary(in);
+  set_error(error, trace ? LoadError::kNone : LoadError::kCorrupt);
+  return trace;
 }
 
 }  // namespace ipfsmon::trace

@@ -6,6 +6,7 @@
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "trace/trace.hpp"
 
@@ -34,16 +35,32 @@ void write_binary_compact(std::ostream& out, const Trace& trace);
 /// Parses the v2 compact form; nullopt on malformed input.
 std::optional<Trace> read_binary_compact(std::istream& in);
 
+/// Why a load returned nullopt. The loaders historically collapsed "file
+/// missing" and "corrupt data" into the same nullopt; callers that care
+/// pass the out-channel and report which case they hit.
+enum class LoadError {
+  kNone,        // load succeeded
+  kFileMissing, // no such file
+  kOpenFailed,  // file exists but cannot be opened (permissions, ...)
+  kCorrupt,     // opened fine, but no supported format parses it
+};
+
+std::string_view load_error_name(LoadError error);
+
 bool save_binary_compact(const std::string& path, const Trace& trace);
-std::optional<Trace> load_binary_compact(const std::string& path);
+std::optional<Trace> load_binary_compact(const std::string& path,
+                                         LoadError* error = nullptr);
 
 /// Loads any supported format (compact binary, plain binary, then CSV).
-std::optional<Trace> load_any(const std::string& path);
+std::optional<Trace> load_any(const std::string& path,
+                              LoadError* error = nullptr);
 
 /// Convenience file round-trips. Return false / nullopt on IO failure.
 bool save_csv(const std::string& path, const Trace& trace);
-std::optional<Trace> load_csv(const std::string& path);
+std::optional<Trace> load_csv(const std::string& path,
+                              LoadError* error = nullptr);
 bool save_binary(const std::string& path, const Trace& trace);
-std::optional<Trace> load_binary(const std::string& path);
+std::optional<Trace> load_binary(const std::string& path,
+                                 LoadError* error = nullptr);
 
 }  // namespace ipfsmon::trace

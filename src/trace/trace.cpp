@@ -17,26 +17,31 @@ void Trace::merge_from(const Trace& other) {
                   other.entries_.end());
 }
 
-TraceStats compute_stats(const Trace& trace) {
-  TraceStats stats;
-  std::unordered_set<crypto::PeerId> peers;
-  std::unordered_set<cid::Cid> cids;
-  for (const auto& e : trace.entries()) {
-    ++stats.total;
-    if (e.is_request()) {
-      ++stats.requests;
-    } else {
-      ++stats.cancels;
-    }
-    if (e.is_duplicate()) ++stats.inter_monitor_duplicates;
-    if (e.is_rebroadcast()) ++stats.rebroadcasts;
-    if (e.is_clean()) ++stats.clean;
-    peers.insert(e.peer);
-    cids.insert(e.cid);
+void StatsAccumulator::add(const TraceEntry& e) {
+  ++stats_.total;
+  if (e.is_request()) {
+    ++stats_.requests;
+  } else {
+    ++stats_.cancels;
   }
-  stats.unique_peers = peers.size();
-  stats.unique_cids = cids.size();
+  if (e.is_duplicate()) ++stats_.inter_monitor_duplicates;
+  if (e.is_rebroadcast()) ++stats_.rebroadcasts;
+  if (e.is_clean()) ++stats_.clean;
+  peers_.insert(e.peer);
+  cids_.insert(e.cid);
+}
+
+TraceStats StatsAccumulator::stats() const {
+  TraceStats stats = stats_;
+  stats.unique_peers = peers_.size();
+  stats.unique_cids = cids_.size();
   return stats;
+}
+
+TraceStats compute_stats(const Trace& trace) {
+  StatsAccumulator acc;
+  for (const auto& e : trace.entries()) acc.add(e);
+  return acc.stats();
 }
 
 }  // namespace ipfsmon::trace

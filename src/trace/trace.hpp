@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "bitswap/message.hpp"
@@ -96,5 +97,18 @@ struct TraceStats {
 };
 
 TraceStats compute_stats(const Trace& trace);
+
+/// Incremental TraceStats, for streaming consumers that never materialize
+/// the trace (memory is O(unique peers + unique CIDs), not O(entries)).
+class StatsAccumulator {
+ public:
+  void add(const TraceEntry& entry);
+  TraceStats stats() const;
+
+ private:
+  TraceStats stats_;
+  std::unordered_set<crypto::PeerId> peers_;
+  std::unordered_set<cid::Cid> cids_;
+};
 
 }  // namespace ipfsmon::trace

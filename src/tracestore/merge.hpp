@@ -1,0 +1,105 @@
+// Out-of-core trace unification (paper Sec. IV-B, streaming form): a k-way
+// time-ordered merge over per-monitor stores with bounded-window duplicate
+// state. Matches the in-memory trace::unify exactly:
+//
+//  * the heap breaks timestamp ties by input index, which reproduces the
+//    stable_sort order of concatenated per-monitor traces;
+//  * StreamingFlagger keeps the same per-(peer, type, CID, monitor)
+//    last-seen state as trace::mark_flags, but evicts records older than
+//    the widest window — an entry outside every window can never set a
+//    flag, so eviction cannot change any flag assignment while keeping
+//    resident state proportional to the window, not the trace.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "tracestore/store.hpp"
+#include "trace/preprocess.hpp"
+
+namespace ipfsmon::tracestore {
+
+/// Streams one store's entries in segment order (segments are written in
+/// time order, so this is the monitor's recording order). One segment is
+/// resident at a time; corrupt segments are skipped through store.warn().
+class StoreCursor {
+ public:
+  explicit StoreCursor(const TraceStore& store);
+
+  bool next(trace::TraceEntry& out);
+
+ private:
+  bool open_next_segment();
+
+  const TraceStore* store_;
+  std::size_t segment_index_ = 0;
+  std::optional<SegmentReader> reader_;
+};
+
+/// Incremental re-implementation of trace::mark_flags: feed time-ordered
+/// entries, get the same flags, with state bounded by the widest window.
+class StreamingFlagger {
+ public:
+  explicit StreamingFlagger(trace::PreprocessOptions options = {});
+
+  /// Overwrites `entry.flags` exactly as trace::mark_flags would.
+  void mark(trace::TraceEntry& entry);
+
+  /// High-water mark of resident (peer, type, CID) keys — the bench's
+  /// bounded-memory evidence.
+  std::size_t peak_keys() const { return peak_keys_; }
+
+ private:
+  struct Key {
+    crypto::PeerId peer;
+    bitswap::WantType type;
+    cid::Cid cid;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      const std::size_t h1 = std::hash<crypto::PeerId>{}(k.peer);
+      const std::size_t h2 = std::hash<cid::Cid>{}(k.cid);
+      return h1 ^ (h2 * 0x9e3779b97f4a7c15ull) ^
+             static_cast<std::size_t>(k.type);
+    }
+  };
+  struct Expiry {
+    util::SimTime time;
+    Key key;
+    trace::MonitorId monitor;
+  };
+
+  void evict_before(util::SimTime horizon);
+
+  trace::PreprocessOptions options_;
+  util::SimDuration max_window_;
+  std::unordered_map<Key,
+                     std::unordered_map<trace::MonitorId, util::SimTime>,
+                     KeyHash>
+      last_seen_;
+  std::deque<Expiry> expiries_;
+  std::size_t peak_keys_ = 0;
+};
+
+struct UnifyStats {
+  std::uint64_t entries = 0;
+  std::size_t peak_window_keys = 0;
+};
+
+/// Merges the input stores in time order, marks flags, and hands every
+/// entry to `sink` — never holding more than one segment per input plus
+/// the flagger's window state in memory.
+UnifyStats unify_stores(
+    const std::vector<const TraceStore*>& inputs,
+    const std::function<void(const trace::TraceEntry&)>& sink,
+    const trace::PreprocessOptions& options = {});
+
+/// Same, spilling the flagged output into `out` (call out.finalize()
+/// afterwards to publish the result store).
+UnifyStats unify_to_store(const std::vector<const TraceStore*>& inputs,
+                          SegmentWriter& out,
+                          const trace::PreprocessOptions& options = {});
+
+}  // namespace ipfsmon::tracestore

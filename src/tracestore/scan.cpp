@@ -1,0 +1,173 @@
+#include "tracestore/scan.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+namespace ipfsmon::tracestore {
+
+bool ScanQuery::matches(const trace::TraceEntry& entry) const {
+  if (min_time && entry.timestamp < *min_time) return false;
+  if (max_time && entry.timestamp > *max_time) return false;
+  if (!peers.empty() &&
+      std::find(peers.begin(), peers.end(), entry.peer) == peers.end()) {
+    return false;
+  }
+  if (!cids.empty() &&
+      std::find(cids.begin(), cids.end(), entry.cid) == cids.end()) {
+    return false;
+  }
+  return true;
+}
+
+ScanExecutor::ScanExecutor(std::size_t threads) : threads_(threads) {
+  if (threads_ == 0) {
+    threads_ = std::max(1u, std::thread::hardware_concurrency());
+  }
+}
+
+namespace {
+
+enum class Prune { kNone, kTime, kBloom };
+
+Prune prune_decision(const SegmentFooter& footer, const ScanQuery& query,
+                     const std::vector<BloomHash>& peer_hashes,
+                     const std::vector<BloomHash>& cid_hashes) {
+  const util::SimTime lo =
+      query.min_time ? *query.min_time : std::numeric_limits<util::SimTime>::min();
+  const util::SimTime hi =
+      query.max_time ? *query.max_time : std::numeric_limits<util::SimTime>::max();
+  if (!footer.overlaps(lo, hi)) return Prune::kTime;
+  const auto any_might_contain = [](const BloomFilter& bloom,
+                                    const std::vector<BloomHash>& hashes) {
+    for (const auto& h : hashes) {
+      if (bloom.might_contain(h)) return true;
+    }
+    return false;
+  };
+  if (!peer_hashes.empty() &&
+      !any_might_contain(footer.peer_bloom, peer_hashes)) {
+    return Prune::kBloom;
+  }
+  if (!cid_hashes.empty() && !any_might_contain(footer.cid_bloom, cid_hashes)) {
+    return Prune::kBloom;
+  }
+  return Prune::kNone;
+}
+
+}  // namespace
+
+ScanStats ScanExecutor::scan(
+    const TraceStore& store, const ScanQuery& query,
+    const std::function<void(const trace::TraceEntry&)>& visit) const {
+  ScanStats stats;
+  const std::size_t n = store.segments().size();
+  stats.segments_total = n;
+  if (n == 0) return stats;
+
+  // Hash the query keys once; workers only test bits.
+  std::vector<BloomHash> peer_hashes;
+  peer_hashes.reserve(query.peers.size());
+  for (const auto& p : query.peers) peer_hashes.push_back(bloom_hash(p));
+  std::vector<BloomHash> cid_hashes;
+  cid_hashes.reserve(query.cids.size());
+  for (const auto& c : query.cids) cid_hashes.push_back(bloom_hash(c));
+
+  // Per-segment result slots filled by workers; the consumer drains them
+  // strictly in segment order, so visit() sees a deterministic stream and
+  // finished slots are released as soon as they are consumed.
+  struct Slot {
+    trace::Trace matches;
+    std::string error;  // non-empty: segment skipped
+    bool done = false;
+  };
+  std::vector<Slot> slots(n);
+  std::vector<Prune> pruned(n, Prune::kNone);
+  for (std::size_t i = 0; i < n; ++i) {
+    pruned[i] =
+        prune_decision(store.segments()[i].footer, query, peer_hashes,
+                       cid_hashes);
+  }
+
+  std::mutex mutex;
+  std::condition_variable ready;
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= n) return;
+      Slot local;
+      if (pruned[i] == Prune::kNone) {
+        std::string error;
+        auto reader = SegmentReader::open(store.segment_path(i), &error);
+        if (!reader) {
+          local.error = error;
+        } else {
+          trace::TraceEntry entry;
+          while (reader->next(entry)) {
+            if (query.matches(entry)) local.matches.append(entry);
+          }
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        slots[i] = std::move(local);
+        slots[i].done = true;
+      }
+      ready.notify_all();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  const std::size_t spawned = std::min(threads_, n);
+  pool.reserve(spawned);
+  for (std::size_t t = 0; t < spawned; ++t) pool.emplace_back(worker);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    Slot slot;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      ready.wait(lock, [&] { return slots[i].done; });
+      slot = std::move(slots[i]);
+    }
+    switch (pruned[i]) {
+      case Prune::kTime:
+        ++stats.segments_pruned_time;
+        continue;
+      case Prune::kBloom:
+        ++stats.segments_pruned_bloom;
+        continue;
+      case Prune::kNone:
+        break;
+    }
+    if (!slot.error.empty()) {
+      store.warn("skipping segment during scan: " + slot.error);
+      continue;
+    }
+    ++stats.segments_scanned;
+    for (const auto& entry : slot.matches.entries()) {
+      visit(entry);
+      ++stats.entries_matched;
+    }
+  }
+  for (auto& t : pool) t.join();
+
+  if (store.options().obs != nullptr) {
+    auto& reg = store.options().obs->metrics;
+    reg.counter("ipfsmon_tracestore_segments_scanned_total",
+                "Segments decoded by scan queries")
+        .inc(stats.segments_scanned);
+    reg.counter("ipfsmon_tracestore_segments_pruned_total",
+                "Segments skipped via footer time range or Bloom filters")
+        .inc(stats.segments_pruned_time + stats.segments_pruned_bloom);
+    reg.counter("ipfsmon_tracestore_scan_entries_total",
+                "Entries streamed to scan visitors")
+        .inc(stats.entries_matched);
+  }
+  return stats;
+}
+
+}  // namespace ipfsmon::tracestore

@@ -1,0 +1,55 @@
+// Predicate-pushdown scans over a trace store. A ScanQuery names a time
+// range and/or peer/CID sets; the executor prunes whole segments with the
+// footer index (time range first, then Bloom membership) and decodes the
+// survivors on a small thread pool. Matches stream to the visitor in
+// segment order — deterministic, and memory-bounded by the matches of the
+// segments currently in flight, never the whole result.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "tracestore/store.hpp"
+
+namespace ipfsmon::tracestore {
+
+struct ScanQuery {
+  /// Inclusive time bounds; unset = unbounded.
+  std::optional<util::SimTime> min_time;
+  std::optional<util::SimTime> max_time;
+  /// Entry must match one of these peers / CIDs; empty = any.
+  std::vector<crypto::PeerId> peers;
+  std::vector<cid::Cid> cids;
+
+  bool matches(const trace::TraceEntry& entry) const;
+};
+
+struct ScanStats {
+  std::size_t segments_total = 0;
+  std::size_t segments_scanned = 0;
+  std::size_t segments_pruned_time = 0;
+  std::size_t segments_pruned_bloom = 0;
+  std::uint64_t entries_matched = 0;
+};
+
+class ScanExecutor {
+ public:
+  /// `threads` = 0 picks the hardware concurrency (at least 1).
+  explicit ScanExecutor(std::size_t threads = 0);
+
+  /// Runs `query` over `store`, calling `visit` on the consumer thread for
+  /// every matching entry, in segment order. Skipped-as-corrupt segments
+  /// go through store.warn() like the streaming readers.
+  ScanStats scan(const TraceStore& store, const ScanQuery& query,
+                 const std::function<void(const trace::TraceEntry&)>& visit)
+      const;
+
+  std::size_t threads() const { return threads_; }
+
+ private:
+  std::size_t threads_;
+};
+
+}  // namespace ipfsmon::tracestore

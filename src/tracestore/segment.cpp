@@ -1,0 +1,340 @@
+#include "tracestore/segment.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "trace/io.hpp"
+#include "util/varint.hpp"
+
+namespace ipfsmon::tracestore {
+
+namespace {
+
+constexpr std::uint32_t kTrailerMagic = 0x54535347;  // "TSSG"
+constexpr std::size_t kTrailerBytes = 16;
+constexpr std::uint32_t kCompactMagic = 0x49504d32;  // "IPM2", body magic
+
+std::uint64_t zigzag_encode(std::int64_t value) {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+
+std::int64_t zigzag_decode(std::uint64_t value) {
+  return static_cast<std::int64_t>(value >> 1) ^
+         -static_cast<std::int64_t>(value & 1);
+}
+
+void put_u32_le(util::Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64_le(util::Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t get_u32_le(util::BytesView v) {
+  std::uint32_t out = 0;
+  for (int i = 3; i >= 0; --i) out = (out << 8) | v[static_cast<size_t>(i)];
+  return out;
+}
+
+std::uint64_t get_u64_le(util::BytesView v) {
+  std::uint64_t out = 0;
+  for (int i = 7; i >= 0; --i) out = (out << 8) | v[static_cast<size_t>(i)];
+  return out;
+}
+
+void append_bloom(util::Bytes& out, const BloomFilter& bloom) {
+  util::varint_append(out, bloom.bit_count());
+  util::varint_append(out, bloom.hash_count());
+  out.insert(out.end(), bloom.bytes().begin(), bloom.bytes().end());
+}
+
+util::Bytes encode_footer(const SegmentFooter& footer) {
+  util::Bytes out;
+  util::varint_append(out, footer.entry_count);
+  util::varint_append(out, zigzag_encode(footer.min_time));
+  util::varint_append(out, zigzag_encode(footer.max_time));
+  util::varint_append(out, footer.body_bytes);
+  put_u64_le(out, footer.body_checksum);
+  append_bloom(out, footer.peer_bloom);
+  append_bloom(out, footer.cid_bloom);
+  return out;
+}
+
+/// Cursor over a byte view for varint-heavy parsing.
+struct Parser {
+  util::BytesView view;
+  std::size_t pos = 0;
+
+  std::optional<std::uint64_t> varint() {
+    const auto v = util::varint_decode(view.subspan(pos));
+    if (!v) return std::nullopt;
+    pos += v->consumed;
+    return v->value;
+  }
+
+  std::optional<util::BytesView> take(std::size_t n) {
+    if (pos + n > view.size()) return std::nullopt;
+    const auto out = view.subspan(pos, n);
+    pos += n;
+    return out;
+  }
+};
+
+std::optional<BloomFilter> parse_bloom(Parser& p) {
+  const auto bit_count = p.varint();
+  const auto hash_count = p.varint();
+  if (!bit_count || !hash_count || *hash_count > 30) return std::nullopt;
+  const auto raw = p.take((*bit_count + 7) / 8);
+  if (!raw) return std::nullopt;
+  return BloomFilter::from_parts(*bit_count,
+                                 static_cast<std::uint32_t>(*hash_count),
+                                 util::Bytes(raw->begin(), raw->end()));
+}
+
+std::optional<SegmentFooter> decode_footer(util::BytesView bytes) {
+  Parser p{bytes};
+  SegmentFooter footer;
+  const auto count = p.varint();
+  const auto min_time = p.varint();
+  const auto max_time = p.varint();
+  const auto body_bytes = p.varint();
+  if (!count || !min_time || !max_time || !body_bytes) return std::nullopt;
+  const auto checksum = p.take(8);
+  if (!checksum) return std::nullopt;
+  footer.entry_count = *count;
+  footer.min_time = zigzag_decode(*min_time);
+  footer.max_time = zigzag_decode(*max_time);
+  footer.body_bytes = *body_bytes;
+  footer.body_checksum = get_u64_le(*checksum);
+  auto peer_bloom = parse_bloom(p);
+  auto cid_bloom = parse_bloom(p);
+  if (!peer_bloom || !cid_bloom) return std::nullopt;
+  footer.peer_bloom = std::move(*peer_bloom);
+  footer.cid_bloom = std::move(*cid_bloom);
+  return footer;
+}
+
+bool fail(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+}  // namespace
+
+bool write_segment_file(const std::string& path, const trace::Trace& entries,
+                        std::size_t bloom_bits_per_key,
+                        SegmentFooter* out_footer, std::string* error) {
+  // Body: exactly the v2 compact encoding from trace/io.
+  std::ostringstream body_stream;
+  trace::write_binary_compact(body_stream, entries);
+  const std::string body = body_stream.str();
+  const util::BytesView body_view(
+      reinterpret_cast<const std::uint8_t*>(body.data()), body.size());
+
+  SegmentFooter footer;
+  footer.entry_count = entries.size();
+  footer.body_bytes = body.size();
+  footer.body_checksum = fnv1a64(body_view, 0);
+
+  std::unordered_set<crypto::PeerId> peers;
+  std::unordered_set<cid::Cid> cids;
+  bool first = true;
+  for (const auto& e : entries.entries()) {
+    if (first || e.timestamp < footer.min_time) footer.min_time = e.timestamp;
+    if (first || e.timestamp > footer.max_time) footer.max_time = e.timestamp;
+    first = false;
+    peers.insert(e.peer);
+    cids.insert(e.cid);
+  }
+  footer.peer_bloom = BloomFilter::with_capacity(peers.size(),
+                                                 bloom_bits_per_key);
+  for (const auto& p : peers) footer.peer_bloom.insert(bloom_hash(p));
+  footer.cid_bloom = BloomFilter::with_capacity(cids.size(),
+                                                bloom_bits_per_key);
+  for (const auto& c : cids) footer.cid_bloom.insert(bloom_hash(c));
+
+  const util::Bytes footer_bytes = encode_footer(footer);
+  util::Bytes trailer;
+  put_u32_le(trailer, static_cast<std::uint32_t>(footer_bytes.size()));
+  put_u64_le(trailer, fnv1a64(footer_bytes, 0));
+  put_u32_le(trailer, kTrailerMagic);
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return fail(error, "cannot open " + tmp + " for writing");
+    out.write(body.data(), static_cast<std::streamsize>(body.size()));
+    out.write(reinterpret_cast<const char*>(footer_bytes.data()),
+              static_cast<std::streamsize>(footer_bytes.size()));
+    out.write(reinterpret_cast<const char*>(trailer.data()),
+              static_cast<std::streamsize>(trailer.size()));
+    if (!out) return fail(error, "short write to " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) return fail(error, "rename " + tmp + ": " + ec.message());
+  if (out_footer != nullptr) *out_footer = footer;
+  return true;
+}
+
+namespace {
+
+/// Loads the whole file and validates the trailer + footer checksum.
+/// On success `out_buffer` holds the file and `out_footer` the footer.
+bool load_and_validate(const std::string& path, util::Bytes* out_buffer,
+                       SegmentFooter* out_footer, bool verify_body,
+                       std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return fail(error, path + ": cannot open");
+  std::ostringstream collected;
+  collected << in.rdbuf();
+  const std::string data = collected.str();
+  if (data.size() < kTrailerBytes) {
+    return fail(error, path + ": truncated (no trailer)");
+  }
+  const util::BytesView view(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
+  const util::BytesView trailer = view.subspan(data.size() - kTrailerBytes);
+  if (get_u32_le(trailer.subspan(12)) != kTrailerMagic) {
+    return fail(error, path + ": bad trailer magic (truncated segment?)");
+  }
+  const std::uint32_t footer_len = get_u32_le(trailer.subspan(0, 4));
+  if (footer_len + kTrailerBytes > data.size()) {
+    return fail(error, path + ": footer length exceeds file size");
+  }
+  const util::BytesView footer_bytes =
+      view.subspan(data.size() - kTrailerBytes - footer_len, footer_len);
+  if (fnv1a64(footer_bytes, 0) != get_u64_le(trailer.subspan(4, 8))) {
+    return fail(error, path + ": footer checksum mismatch");
+  }
+  auto footer = decode_footer(footer_bytes);
+  if (!footer) return fail(error, path + ": malformed footer");
+  if (footer->body_bytes + footer_len + kTrailerBytes != data.size()) {
+    return fail(error, path + ": body length mismatch");
+  }
+  if (verify_body &&
+      fnv1a64(view.subspan(0, footer->body_bytes), 0) !=
+          footer->body_checksum) {
+    return fail(error, path + ": body checksum mismatch");
+  }
+  if (out_buffer != nullptr) {
+    out_buffer->assign(view.begin(), view.end());
+  }
+  *out_footer = std::move(*footer);
+  return true;
+}
+
+}  // namespace
+
+std::optional<SegmentFooter> read_segment_footer(const std::string& path,
+                                                 std::string* error) {
+  // Footer-only validation: body checksum is deferred to the actual read.
+  SegmentFooter footer;
+  if (!load_and_validate(path, nullptr, &footer, /*verify_body=*/false,
+                         error)) {
+    return std::nullopt;
+  }
+  return footer;
+}
+
+std::optional<SegmentReader> SegmentReader::open(const std::string& path,
+                                                 std::string* error) {
+  SegmentReader reader;
+  if (!load_and_validate(path, &reader.buffer_, &reader.footer_,
+                         /*verify_body=*/true, error)) {
+    return std::nullopt;
+  }
+  if (!reader.parse_dictionaries(error)) return std::nullopt;
+  return reader;
+}
+
+bool SegmentReader::parse_dictionaries(std::string* error) {
+  Parser p{util::BytesView(buffer_.data(), footer_.body_bytes)};
+  const auto magic = p.varint();
+  if (!magic || *magic != kCompactMagic) {
+    return fail(error, "bad body magic");
+  }
+  const auto count = p.varint();
+  if (!count || *count != footer_.entry_count) {
+    return fail(error, "entry count disagrees with footer");
+  }
+  const auto peer_count = p.varint();
+  if (!peer_count) return fail(error, "malformed peer dictionary");
+  peers_.reserve(*peer_count);
+  for (std::uint64_t i = 0; i < *peer_count; ++i) {
+    const auto raw = p.take(32);
+    if (!raw) return fail(error, "malformed peer dictionary");
+    crypto::PeerId::Digest digest;
+    std::copy(raw->begin(), raw->end(), digest.begin());
+    peers_.emplace_back(digest);
+  }
+  const auto addr_count = p.varint();
+  if (!addr_count) return fail(error, "malformed address dictionary");
+  addrs_.reserve(*addr_count);
+  for (std::uint64_t i = 0; i < *addr_count; ++i) {
+    const auto ip = p.varint();
+    const auto port = p.varint();
+    if (!ip || !port || *port > 65535) {
+      return fail(error, "malformed address dictionary");
+    }
+    addrs_.push_back(net::Address{static_cast<std::uint32_t>(*ip),
+                                  static_cast<std::uint16_t>(*port)});
+  }
+  const auto cid_count = p.varint();
+  if (!cid_count) return fail(error, "malformed CID dictionary");
+  cids_.reserve(*cid_count);
+  for (std::uint64_t i = 0; i < *cid_count; ++i) {
+    const auto len = p.varint();
+    if (!len) return fail(error, "malformed CID dictionary");
+    const auto raw = p.take(*len);
+    if (!raw) return fail(error, "malformed CID dictionary");
+    const auto parsed = cid::Cid::decode(*raw);
+    if (!parsed) return fail(error, "malformed CID dictionary");
+    cids_.push_back(*parsed);
+  }
+  pos_ = p.pos;
+  remaining_ = footer_.entry_count;
+  return true;
+}
+
+bool SegmentReader::next(trace::TraceEntry& out) {
+  if (remaining_ == 0) return false;
+  Parser p{util::BytesView(buffer_.data(), footer_.body_bytes), pos_};
+  const auto delta = p.varint();
+  const auto peer = p.varint();
+  const auto addr = p.varint();
+  const auto cid_ref = p.varint();
+  const auto type_monitor = p.varint();
+  const auto flags = p.varint();
+  if (!delta || !peer || !addr || !cid_ref || !type_monitor || !flags) {
+    remaining_ = 0;
+    return false;
+  }
+  if (*peer >= peers_.size() || *addr >= addrs_.size() ||
+      *cid_ref >= cids_.size() || (*type_monitor & 0x3) > 2) {
+    remaining_ = 0;
+    return false;
+  }
+  out.timestamp = prev_time_ + zigzag_decode(*delta);
+  prev_time_ = out.timestamp;
+  out.peer = peers_[*peer];
+  out.address = addrs_[*addr];
+  out.cid = cids_[*cid_ref];
+  out.type = static_cast<bitswap::WantType>(*type_monitor & 0x3);
+  out.monitor = static_cast<trace::MonitorId>(*type_monitor >> 2);
+  out.flags = static_cast<std::uint32_t>(*flags);
+  pos_ = p.pos;
+  --remaining_;
+  return true;
+}
+
+}  // namespace ipfsmon::tracestore

@@ -1,0 +1,80 @@
+// One on-disk trace segment: the v2 dictionary-compact trace encoding
+// (trace/io "IPM2") as the body, followed by a footer index and a fixed
+// 16-byte trailer. The footer carries everything a scan needs to decide
+// whether to read the body at all: entry count, time range, and Bloom
+// filters over the segment's peer and CID sets. Both footer and body are
+// checksummed (FNV-1a 64) so a partially written or corrupted segment is
+// detected and skipped instead of poisoning a scan.
+//
+// Layout:
+//   [body: IPM2 compact trace bytes]
+//   [footer: varint-packed SegmentFooter incl. Bloom bit arrays]
+//   [trailer, 16 bytes LE: u32 footer_len | u64 footer_checksum | u32 magic]
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "tracestore/bloom.hpp"
+#include "trace/trace.hpp"
+
+namespace ipfsmon::tracestore {
+
+struct SegmentFooter {
+  std::uint64_t entry_count = 0;
+  util::SimTime min_time = 0;
+  util::SimTime max_time = 0;
+  std::uint64_t body_bytes = 0;
+  std::uint64_t body_checksum = 0;
+  BloomFilter peer_bloom;
+  BloomFilter cid_bloom;
+
+  /// True when [min_time, max_time] intersects [lo, hi].
+  bool overlaps(util::SimTime lo, util::SimTime hi) const {
+    return entry_count != 0 && min_time <= hi && lo <= max_time;
+  }
+};
+
+/// Serializes `entries` as a complete segment (body + footer + trailer) and
+/// writes it to `path` atomically (write to `path + ".tmp"`, then rename).
+/// Returns false and sets `error` on IO failure.
+bool write_segment_file(const std::string& path, const trace::Trace& entries,
+                        std::size_t bloom_bits_per_key,
+                        SegmentFooter* out_footer, std::string* error);
+
+/// Reads and validates only the footer (trailer magic, footer checksum) —
+/// the cheap open-time check; the body checksum is verified when the body
+/// is actually read. Returns nullopt and sets `error` on any mismatch.
+std::optional<SegmentFooter> read_segment_footer(const std::string& path,
+                                                 std::string* error);
+
+/// Streaming decoder over one segment. Loads the file, verifies both
+/// checksums and the dictionaries up front (memory bounded by the segment,
+/// not the trace), then yields entries one at a time.
+class SegmentReader {
+ public:
+  static std::optional<SegmentReader> open(const std::string& path,
+                                           std::string* error = nullptr);
+
+  const SegmentFooter& footer() const { return footer_; }
+
+  /// Decodes the next entry into `out`; false at end-of-segment or on a
+  /// malformed record (malformed bodies fail the checksum first in
+  /// practice, but decode errors still terminate the stream).
+  bool next(trace::TraceEntry& out);
+
+ private:
+  SegmentReader() = default;
+  bool parse_dictionaries(std::string* error);
+
+  SegmentFooter footer_;
+  util::Bytes buffer_;  // whole segment file
+  std::vector<crypto::PeerId> peers_;
+  std::vector<net::Address> addrs_;
+  std::vector<cid::Cid> cids_;
+  std::size_t pos_ = 0;
+  std::uint64_t remaining_ = 0;
+  util::SimTime prev_time_ = 0;
+};
+
+}  // namespace ipfsmon::tracestore

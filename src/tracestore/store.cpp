@@ -1,0 +1,268 @@
+#include "tracestore/store.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace fs = std::filesystem;
+
+namespace ipfsmon::tracestore {
+
+namespace {
+
+constexpr char kManifestName[] = "MANIFEST";
+constexpr char kManifestHeader[] = "ipfsmon-tracestore v1";
+
+std::string segment_name(std::size_t index) {
+  return util::format("seg-%06zu.seg", index);
+}
+
+void obs_warn(obs::Obs* obs, const std::string& message) {
+  if (obs == nullptr) return;
+  // Offline store tooling has no scheduler; sim time 0 marks that.
+  obs->events.emit(0, obs::Severity::kWarn, "tracestore", message);
+}
+
+}  // namespace
+
+bool write_manifest(
+    const std::string& dir,
+    const std::vector<std::pair<std::string, SegmentFooter>>& segments,
+    std::string* error) {
+  const fs::path tmp = fs::path(dir) / (std::string(kManifestName) + ".tmp");
+  {
+    std::ofstream out(tmp);
+    if (!out) {
+      if (error != nullptr) *error = "cannot open " + tmp.string();
+      return false;
+    }
+    out << kManifestHeader << '\n';
+    for (const auto& [file, footer] : segments) {
+      out << file << ' ' << footer.entry_count << ' ' << footer.min_time
+          << ' ' << footer.max_time << '\n';
+    }
+    if (!out) {
+      if (error != nullptr) *error = "short write to " + tmp.string();
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, fs::path(dir) / kManifestName, ec);
+  if (ec) {
+    if (error != nullptr) *error = "rename manifest: " + ec.message();
+    return false;
+  }
+  return true;
+}
+
+// --- SegmentWriter ----------------------------------------------------------
+
+SegmentWriter::SegmentWriter(std::string dir, StoreOptions options)
+    : dir_(std::move(dir)), options_(options) {
+  if (options_.obs != nullptr) {
+    auto& reg = options_.obs->metrics;
+    segments_counter_ =
+        &reg.counter("ipfsmon_tracestore_segments_written_total",
+                     "Trace store segments flushed to disk");
+    entries_counter_ =
+        &reg.counter("ipfsmon_tracestore_entries_written_total",
+                     "Trace entries spilled into stores");
+    flush_bytes_ = &reg.histogram(
+        "ipfsmon_tracestore_segment_bytes",
+        obs::exponential_buckets(4096, 4.0, 8),
+        "On-disk size of flushed trace store segments");
+  }
+}
+
+std::unique_ptr<SegmentWriter> SegmentWriter::create(const std::string& dir,
+                                                     StoreOptions options,
+                                                     std::string* error) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    if (error != nullptr) *error = "mkdir " + dir + ": " + ec.message();
+    return nullptr;
+  }
+  // Start clean: drop any segments/manifest from a previous run.
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name == kManifestName || name.ends_with(".seg") ||
+        name.ends_with(".tmp")) {
+      fs::remove(entry.path(), ec);
+    }
+  }
+  return std::unique_ptr<SegmentWriter>(
+      new SegmentWriter(dir, options));
+}
+
+SegmentWriter::~SegmentWriter() {
+  if (!finalized_) finalize();
+}
+
+void SegmentWriter::append(const trace::TraceEntry& entry) {
+  if (!open_.empty()) {
+    const util::SimTime first = open_.entries().front().timestamp;
+    if (open_.size() >= options_.max_entries_per_segment ||
+        entry.timestamp - first > options_.max_segment_span) {
+      flush_open_segment();
+    }
+  }
+  open_.append(entry);
+  ++entries_written_;
+  if (entries_counter_ != nullptr) entries_counter_->inc();
+}
+
+void SegmentWriter::flush_open_segment() {
+  if (open_.empty()) return;
+  const std::string name = segment_name(segments_.size());
+  const std::string path = (fs::path(dir_) / name).string();
+  SegmentFooter footer;
+  std::string error;
+  if (!write_segment_file(path, open_, options_.bloom_bits_per_key, &footer,
+                          &error)) {
+    failed_ = true;
+    obs_warn(options_.obs, "segment flush failed: " + error);
+  } else {
+    segments_.emplace_back(name, footer);
+    if (segments_counter_ != nullptr) segments_counter_->inc();
+    if (flush_bytes_ != nullptr) {
+      std::error_code ec;
+      const auto bytes = fs::file_size(path, ec);
+      if (!ec) flush_bytes_->observe(static_cast<double>(bytes));
+    }
+  }
+  open_ = trace::Trace{};
+}
+
+bool SegmentWriter::finalize() {
+  if (finalized_) return !failed_;
+  finalized_ = true;
+  flush_open_segment();
+  std::string error;
+  if (!write_manifest(dir_, segments_, &error)) {
+    failed_ = true;
+    obs_warn(options_.obs, "manifest write failed: " + error);
+  }
+  return !failed_;
+}
+
+// --- TraceStore -------------------------------------------------------------
+
+std::optional<TraceStore> TraceStore::open(const std::string& dir,
+                                           StoreOptions options,
+                                           std::string* error) {
+  std::ifstream manifest(fs::path(dir) / kManifestName);
+  if (!manifest) {
+    if (error != nullptr) *error = dir + ": no readable MANIFEST";
+    return std::nullopt;
+  }
+  std::string line;
+  if (!std::getline(manifest, line) || line != kManifestHeader) {
+    if (error != nullptr) *error = dir + ": bad manifest header";
+    return std::nullopt;
+  }
+
+  TraceStore store;
+  store.dir_ = dir;
+  store.options_ = options;
+  while (std::getline(manifest, line)) {
+    if (line.empty()) continue;
+    const auto fields = util::split(line, ' ');
+    if (fields.empty()) continue;
+    const std::string path = (fs::path(dir) / fields[0]).string();
+    std::string footer_error;
+    auto footer = read_segment_footer(path, &footer_error);
+    if (!footer) {
+      store.warn("skipping segment: " + footer_error);
+      continue;
+    }
+    Segment segment;
+    segment.file = fields[0];
+    segment.footer = std::move(*footer);
+    std::error_code ec;
+    const auto bytes = fs::file_size(path, ec);
+    segment.file_bytes = ec ? 0 : bytes;
+    store.segments_.push_back(std::move(segment));
+  }
+  return store;
+}
+
+std::uint64_t TraceStore::total_entries() const {
+  std::uint64_t total = 0;
+  for (const auto& s : segments_) total += s.footer.entry_count;
+  return total;
+}
+
+std::uint64_t TraceStore::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& s : segments_) total += s.file_bytes;
+  return total;
+}
+
+util::SimTime TraceStore::min_time() const {
+  util::SimTime t = 0;
+  bool first = true;
+  for (const auto& s : segments_) {
+    if (s.footer.entry_count == 0) continue;
+    if (first || s.footer.min_time < t) t = s.footer.min_time;
+    first = false;
+  }
+  return t;
+}
+
+util::SimTime TraceStore::max_time() const {
+  util::SimTime t = 0;
+  bool first = true;
+  for (const auto& s : segments_) {
+    if (s.footer.entry_count == 0) continue;
+    if (first || s.footer.max_time > t) t = s.footer.max_time;
+    first = false;
+  }
+  return t;
+}
+
+std::string TraceStore::segment_path(std::size_t index) const {
+  return (fs::path(dir_) / segments_[index].file).string();
+}
+
+std::size_t TraceStore::prune_before(util::SimTime cutoff) {
+  std::vector<Segment> kept;
+  std::size_t removed = 0;
+  for (auto& s : segments_) {
+    if (s.footer.max_time < cutoff) {
+      std::error_code ec;
+      fs::remove(fs::path(dir_) / s.file, ec);
+      ++removed;
+    } else {
+      kept.push_back(std::move(s));
+    }
+  }
+  if (removed == 0) return 0;
+  segments_ = std::move(kept);
+  if (!rewrite_manifest()) {
+    warn("manifest rewrite after prune failed");
+  }
+  return removed;
+}
+
+bool TraceStore::rewrite_manifest() const {
+  std::vector<std::pair<std::string, SegmentFooter>> entries;
+  entries.reserve(segments_.size());
+  for (const auto& s : segments_) entries.emplace_back(s.file, s.footer);
+  return write_manifest(dir_, entries);
+}
+
+void TraceStore::warn(const std::string& message) const {
+  warnings_.push_back(message);
+  obs_warn(options_.obs, message);
+  if (options_.obs != nullptr) {
+    options_.obs->metrics
+        .counter("ipfsmon_tracestore_segments_skipped_total",
+                 "Segments skipped due to corruption or IO errors")
+        .inc();
+  }
+}
+
+}  // namespace ipfsmon::tracestore

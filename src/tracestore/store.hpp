@@ -1,0 +1,139 @@
+// The on-disk trace store: a directory of segment files plus a MANIFEST.
+//
+//   <dir>/seg-000000.seg, seg-000001.seg, ...   (see segment.hpp)
+//   <dir>/MANIFEST                              (text, written atomically)
+//
+// SegmentWriter appends entries (monitors record in time order) and rolls a
+// new segment whenever the open one exceeds the entry cap or the time span
+// cap, so every segment covers a bounded time window. finalize() flushes
+// the open segment and publishes the manifest via write-to-temp + rename —
+// a crashed run leaves either the previous manifest or none, never a
+// half-written one. TraceStore is the read side: it parses the manifest,
+// validates each segment's footer, skips unreadable segments with a
+// recorded warning, and supports pruning whole segments by time range.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "tracestore/segment.hpp"
+#include "trace/trace.hpp"
+
+namespace ipfsmon::tracestore {
+
+struct StoreOptions {
+  /// Roll the open segment after this many entries...
+  std::uint64_t max_entries_per_segment = 1u << 18;
+  /// ...or when it would span more than this much sim time.
+  util::SimDuration max_segment_span = 6 * util::kHour;
+  std::size_t bloom_bits_per_key = 10;
+  /// Optional instrumentation/warning sink (counters + warn events).
+  /// The store keeps the pointer; the Obs must outlive it.
+  obs::Obs* obs = nullptr;
+};
+
+class SegmentWriter {
+ public:
+  /// Creates `dir` (and parents) and removes any previous store contents
+  /// there, so a restarted run starts from a clean directory. Returns
+  /// nullptr on IO failure (error describes why).
+  static std::unique_ptr<SegmentWriter> create(const std::string& dir,
+                                               StoreOptions options = {},
+                                               std::string* error = nullptr);
+
+  ~SegmentWriter();
+  SegmentWriter(const SegmentWriter&) = delete;
+  SegmentWriter& operator=(const SegmentWriter&) = delete;
+
+  /// Buffers `entry`, flushing a completed segment when a cap is hit.
+  /// Entries are expected in non-decreasing time order (monitor recording
+  /// order); the footer time range is computed from the data either way.
+  void append(const trace::TraceEntry& entry);
+
+  /// Flushes the open segment and atomically publishes the manifest.
+  /// Idempotent; append() may not be called afterwards.
+  bool finalize();
+
+  const std::string& dir() const { return dir_; }
+  std::uint64_t entries_written() const { return entries_written_; }
+  std::uint64_t segments_written() const { return segments_.size(); }
+  /// Set when any flush failed; finalize() also returns false then.
+  bool failed() const { return failed_; }
+
+ private:
+  SegmentWriter(std::string dir, StoreOptions options);
+  void flush_open_segment();
+
+  std::string dir_;
+  StoreOptions options_;
+  trace::Trace open_;  // entries of the segment being built
+  std::vector<std::pair<std::string, SegmentFooter>> segments_;
+  std::uint64_t entries_written_ = 0;
+  bool finalized_ = false;
+  bool failed_ = false;
+
+  obs::Counter* segments_counter_ = nullptr;
+  obs::Counter* entries_counter_ = nullptr;
+  obs::Histogram* flush_bytes_ = nullptr;
+};
+
+/// Read-side view of a store directory.
+class TraceStore {
+ public:
+  struct Segment {
+    std::string file;  // name relative to dir
+    SegmentFooter footer;
+    std::uint64_t file_bytes = 0;
+  };
+
+  /// Parses the manifest and validates every listed segment's footer.
+  /// Unreadable/corrupt segments are skipped and reported in warnings()
+  /// (and as obs warn events when options.obs is set). Returns nullopt
+  /// only when the directory or manifest itself is unusable.
+  static std::optional<TraceStore> open(const std::string& dir,
+                                        StoreOptions options = {},
+                                        std::string* error = nullptr);
+
+  const std::string& dir() const { return dir_; }
+  const std::vector<Segment>& segments() const { return segments_; }
+  const std::vector<std::string>& warnings() const { return warnings_; }
+  const StoreOptions& options() const { return options_; }
+
+  std::uint64_t total_entries() const;
+  std::uint64_t total_bytes() const;
+  util::SimTime min_time() const;
+  util::SimTime max_time() const;
+
+  std::string segment_path(std::size_t index) const;
+
+  /// Drops every segment whose entire time range lies before `cutoff`
+  /// (file deleted, manifest rewritten atomically). Returns the number of
+  /// segments removed.
+  std::size_t prune_before(util::SimTime cutoff);
+
+  /// Records a warning (and mirrors it to obs, when configured). Used by
+  /// the streaming readers when they skip a segment mid-scan.
+  void warn(const std::string& message) const;
+
+ private:
+  TraceStore() = default;
+  bool rewrite_manifest() const;
+
+  std::string dir_;
+  StoreOptions options_;
+  std::vector<Segment> segments_;
+  mutable std::vector<std::string> warnings_;
+};
+
+/// Writes the manifest for `segments` into `dir` atomically. Shared by the
+/// writer's finalize() and the store's prune.
+bool write_manifest(
+    const std::string& dir,
+    const std::vector<std::pair<std::string, SegmentFooter>>& segments,
+    std::string* error = nullptr);
+
+}  // namespace ipfsmon::tracestore

@@ -2,6 +2,7 @@
 // re-broadcast marking — paper Sec. IV-B), and serialization round trips.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "trace/io.hpp"
@@ -214,6 +215,27 @@ INSTANTIATE_TEST_SUITE_P(
                       std::pair{31 * kSecond + 1, false},
                       std::pair{60 * kSecond, false}));
 
+class InterMonitorWindowBoundary
+    : public ::testing::TestWithParam<std::pair<util::SimDuration, bool>> {};
+
+TEST_P(InterMonitorWindowBoundary, FlagMatchesWindow) {
+  const auto [delta, expect_flag] = GetParam();
+  Trace a, b;
+  a.append(entry(0, 1, 1, 0));
+  b.append(entry(delta, 1, 1, 1));  // same want, different monitor
+  const Trace unified = unify({&a, &b});
+  EXPECT_EQ(unified.entries()[1].is_duplicate(), expect_flag);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, InterMonitorWindowBoundary,
+    ::testing::Values(std::pair{0 * kSecond, true},
+                      std::pair{1 * kSecond, true},
+                      std::pair{5 * kSecond - 1, true},
+                      std::pair{5 * kSecond, true},  // exact edge: inclusive
+                      std::pair{5 * kSecond + 1, false},
+                      std::pair{31 * kSecond, false}));
+
 // --- IO round trips -------------------------------------------------------------
 
 Trace make_random_trace(std::size_t n, std::uint64_t seed) {
@@ -378,6 +400,46 @@ TEST(TraceIo, LoadAnyDetectsAllThreeFormats) {
     EXPECT_TRUE(traces_equal(t, *loaded)) << name;
   }
   EXPECT_FALSE(load_any("/does/not/exist").has_value());
+}
+
+// --- Load-failure reasons -------------------------------------------------------
+
+TEST(TraceIo, LoadReportsMissingFile) {
+  LoadError why = LoadError::kNone;
+  EXPECT_FALSE(load_any("/does/not/exist.bin", &why).has_value());
+  EXPECT_EQ(why, LoadError::kFileMissing);
+  why = LoadError::kNone;
+  EXPECT_FALSE(load_binary("/does/not/exist.bin", &why).has_value());
+  EXPECT_EQ(why, LoadError::kFileMissing);
+  why = LoadError::kNone;
+  EXPECT_FALSE(load_csv("/does/not/exist.csv", &why).has_value());
+  EXPECT_EQ(why, LoadError::kFileMissing);
+  EXPECT_EQ(load_error_name(LoadError::kFileMissing), "file missing");
+}
+
+TEST(TraceIo, LoadReportsCorruptFile) {
+  const std::string path = ::testing::TempDir() + "/corrupt_trace.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a trace in any known format";
+  }
+  LoadError why = LoadError::kNone;
+  EXPECT_FALSE(load_any(path, &why).has_value());
+  EXPECT_EQ(why, LoadError::kCorrupt);
+  why = LoadError::kNone;
+  EXPECT_FALSE(load_binary(path, &why).has_value());
+  EXPECT_EQ(why, LoadError::kCorrupt);
+  EXPECT_EQ(load_error_name(LoadError::kCorrupt),
+            "corrupt or unsupported format");
+}
+
+TEST(TraceIo, LoadSuccessLeavesNoError) {
+  const Trace t = make_random_trace(10, 11);
+  const std::string path = ::testing::TempDir() + "/ok_trace.bin";
+  ASSERT_TRUE(save_binary_compact(path, t));
+  LoadError why = LoadError::kCorrupt;
+  EXPECT_TRUE(load_any(path, &why).has_value());
+  EXPECT_EQ(why, LoadError::kNone);
 }
 
 TEST(TraceIo, BinaryIsSmallerThanCsv) {

@@ -1,0 +1,627 @@
+// Out-of-core trace store (src/tracestore): Bloom filters, segment
+// round-trips and crash detection, the segmented store directory format,
+// streaming unify equivalence with the in-memory path, and the
+// Bloom-pruned parallel scan executor.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "scenario/study.hpp"
+#include "trace/preprocess.hpp"
+#include "tracestore/bloom.hpp"
+#include "tracestore/merge.hpp"
+#include "tracestore/scan.hpp"
+#include "tracestore/store.hpp"
+
+namespace ipfsmon::tracestore {
+namespace {
+
+using util::kHour;
+using util::kSecond;
+
+crypto::PeerId peer_n(int n) {
+  crypto::PeerId::Digest digest{};
+  digest[0] = static_cast<std::uint8_t>(n);
+  digest[1] = static_cast<std::uint8_t>(n >> 8);
+  digest[31] = 0x5a;
+  return crypto::PeerId(digest);
+}
+
+cid::Cid cid_n(int n) {
+  return cid::Cid::of_data(cid::Multicodec::Raw,
+                           util::bytes_of("store cid " + std::to_string(n)));
+}
+
+trace::TraceEntry entry(util::SimTime t, int peer, int cid,
+                        trace::MonitorId monitor,
+                        bitswap::WantType type = bitswap::WantType::WantHave) {
+  trace::TraceEntry e;
+  e.timestamp = t;
+  e.peer = peer_n(peer);
+  e.address =
+      net::Address{0x0a000001u + static_cast<std::uint32_t>(peer), 4001};
+  e.type = type;
+  e.cid = cid_n(cid);
+  e.monitor = monitor;
+  return e;
+}
+
+bool entries_equal(const trace::TraceEntry& a, const trace::TraceEntry& b) {
+  return a.timestamp == b.timestamp && a.peer == b.peer &&
+         a.address == b.address && a.type == b.type && a.cid == b.cid &&
+         a.monitor == b.monitor && a.flags == b.flags;
+}
+
+/// A time-sorted random per-monitor trace (monitors record in time order).
+trace::Trace make_monitor_trace(std::size_t n, trace::MonitorId monitor,
+                                std::uint64_t seed) {
+  util::RngStream rng(seed, "tracestore-test");
+  trace::Trace t;
+  util::SimTime ts = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ts += rng.uniform_index(20 * kSecond);
+    auto e = entry(ts, static_cast<int>(rng.uniform_index(25)),
+                   static_cast<int>(rng.uniform_index(40)), monitor);
+    const auto roll = rng.uniform_index(4);
+    e.type = roll == 0 ? bitswap::WantType::Cancel
+             : roll == 1 ? bitswap::WantType::WantBlock
+                         : bitswap::WantType::WantHave;
+    t.append(std::move(e));
+  }
+  return t;
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/tracestore_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Reads a whole store back through the streaming cursor.
+trace::Trace drain(const TraceStore& store) {
+  StoreCursor cursor(store);
+  trace::Trace out;
+  trace::TraceEntry e;
+  while (cursor.next(e)) out.append(e);
+  return out;
+}
+
+// --- Bloom filters --------------------------------------------------------------
+
+TEST(Bloom, NoFalseNegatives) {
+  BloomFilter filter = BloomFilter::with_capacity(500);
+  for (int i = 0; i < 500; ++i) filter.insert(bloom_hash(peer_n(i)));
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(filter.might_contain(bloom_hash(peer_n(i)))) << i;
+  }
+}
+
+TEST(Bloom, FalsePositiveRateIsLow) {
+  BloomFilter filter = BloomFilter::with_capacity(500);
+  for (int i = 0; i < 500; ++i) filter.insert(bloom_hash(cid_n(i)));
+  int false_positives = 0;
+  for (int i = 500; i < 2500; ++i) {
+    if (filter.might_contain(bloom_hash(cid_n(i)))) ++false_positives;
+  }
+  // 10 bits/key targets ~1%; allow generous slack against hash unluck.
+  EXPECT_LT(false_positives, 100);
+}
+
+TEST(Bloom, EmptyFilterContainsNothing) {
+  const BloomFilter filter;
+  EXPECT_TRUE(filter.empty());
+  EXPECT_FALSE(filter.might_contain(bloom_hash(peer_n(1))));
+}
+
+TEST(Bloom, FromPartsRejectsMismatchedSizes) {
+  BloomFilter filter = BloomFilter::with_capacity(10);
+  EXPECT_TRUE(BloomFilter::from_parts(filter.bit_count(), filter.hash_count(),
+                                      filter.bytes())
+                  .has_value());
+  util::Bytes wrong = filter.bytes();
+  wrong.push_back(0);
+  EXPECT_FALSE(BloomFilter::from_parts(filter.bit_count(), filter.hash_count(),
+                                       std::move(wrong))
+                   .has_value());
+}
+
+// --- Segments -------------------------------------------------------------------
+
+TEST(Segment, WriteReadRoundTrip) {
+  const std::string dir = fresh_dir("segment_rt");
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/seg-000000.seg";
+  const trace::Trace t = make_monitor_trace(300, 0, 1);
+
+  SegmentFooter footer;
+  std::string error;
+  ASSERT_TRUE(write_segment_file(path, t, 10, &footer, &error)) << error;
+  EXPECT_EQ(footer.entry_count, 300u);
+  EXPECT_EQ(footer.min_time, t.entries().front().timestamp);
+  EXPECT_EQ(footer.max_time, t.entries().back().timestamp);
+  EXPECT_GT(footer.body_bytes, 0u);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  const auto reread = read_segment_footer(path, &error);
+  ASSERT_TRUE(reread.has_value()) << error;
+  EXPECT_EQ(reread->entry_count, footer.entry_count);
+  EXPECT_EQ(reread->body_checksum, footer.body_checksum);
+
+  auto reader = SegmentReader::open(path, &error);
+  ASSERT_TRUE(reader.has_value()) << error;
+  trace::TraceEntry e;
+  std::size_t i = 0;
+  while (reader->next(e)) {
+    ASSERT_LT(i, t.size());
+    EXPECT_TRUE(entries_equal(e, t.entries()[i])) << i;
+    ++i;
+  }
+  EXPECT_EQ(i, t.size());
+}
+
+TEST(Segment, FooterBloomCoversSegmentKeys) {
+  const std::string dir = fresh_dir("segment_bloom");
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/seg.seg";
+  trace::Trace t;
+  for (int i = 0; i < 50; ++i) t.append(entry(i * kSecond, i, i + 100, 0));
+  SegmentFooter footer;
+  ASSERT_TRUE(write_segment_file(path, t, 10, &footer, nullptr));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(footer.peer_bloom.might_contain(bloom_hash(peer_n(i))));
+    EXPECT_TRUE(footer.cid_bloom.might_contain(bloom_hash(cid_n(i + 100))));
+  }
+}
+
+TEST(Segment, TruncationIsDetected) {
+  const std::string dir = fresh_dir("segment_trunc");
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/seg.seg";
+  ASSERT_TRUE(
+      write_segment_file(path, make_monitor_trace(100, 0, 2), 10, nullptr,
+                         nullptr));
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  std::string error;
+  EXPECT_FALSE(read_segment_footer(path, &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(SegmentReader::open(path).has_value());
+}
+
+TEST(Segment, BodyCorruptionFailsChecksum) {
+  const std::string dir = fresh_dir("segment_flip");
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/seg.seg";
+  ASSERT_TRUE(
+      write_segment_file(path, make_monitor_trace(100, 0, 3), 10, nullptr,
+                         nullptr));
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(20);
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(20);
+    byte = static_cast<char>(byte ^ 0xff);
+    f.write(&byte, 1);
+  }
+  // The footer (at the tail) is intact, so the cheap open-time check still
+  // passes — the body checksum catches the damage when reading.
+  EXPECT_TRUE(read_segment_footer(path, nullptr).has_value());
+  EXPECT_FALSE(SegmentReader::open(path).has_value());
+}
+
+// --- Store directory format -----------------------------------------------------
+
+TEST(Store, WriterRollsByEntryCount) {
+  const std::string dir = fresh_dir("roll_count");
+  StoreOptions options;
+  options.max_entries_per_segment = 64;
+  auto writer = SegmentWriter::create(dir, options);
+  ASSERT_NE(writer, nullptr);
+  const trace::Trace t = make_monitor_trace(300, 0, 4);
+  for (const auto& e : t.entries()) writer->append(e);
+  ASSERT_TRUE(writer->finalize());
+  EXPECT_GE(writer->segments_written(), 300u / 64u);
+
+  auto store = TraceStore::open(dir);
+  ASSERT_TRUE(store.has_value());
+  EXPECT_GE(store->segments().size(), 4u);
+  EXPECT_EQ(store->total_entries(), 300u);
+  for (const auto& seg : store->segments()) {
+    EXPECT_LE(seg.footer.entry_count, 64u);
+  }
+  const trace::Trace back = drain(*store);
+  ASSERT_EQ(back.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_TRUE(entries_equal(back.entries()[i], t.entries()[i])) << i;
+  }
+}
+
+TEST(Store, WriterRollsByTimeSpan) {
+  const std::string dir = fresh_dir("roll_span");
+  StoreOptions options;
+  options.max_segment_span = 1 * kHour;
+  auto writer = SegmentWriter::create(dir, options);
+  ASSERT_NE(writer, nullptr);
+  for (int i = 0; i < 10; ++i) {
+    writer->append(entry(i * kHour, 1, 1, 0));  // each hour apart
+  }
+  ASSERT_TRUE(writer->finalize());
+  auto store = TraceStore::open(dir);
+  ASSERT_TRUE(store.has_value());
+  EXPECT_GE(store->segments().size(), 5u);
+  for (const auto& seg : store->segments()) {
+    EXPECT_LE(seg.footer.max_time - seg.footer.min_time, 1 * kHour);
+  }
+}
+
+TEST(Store, FinalizeIsIdempotentAndCreateWipes) {
+  const std::string dir = fresh_dir("finalize");
+  {
+    auto writer = SegmentWriter::create(dir);
+    writer->append(entry(0, 1, 1, 0));
+    EXPECT_TRUE(writer->finalize());
+    EXPECT_TRUE(writer->finalize());
+  }
+  {
+    auto store = TraceStore::open(dir);
+    ASSERT_TRUE(store.has_value());
+    EXPECT_EQ(store->total_entries(), 1u);
+  }
+  // create() starts clean: the old segment must not leak into the new
+  // store.
+  auto writer = SegmentWriter::create(dir);
+  ASSERT_NE(writer, nullptr);
+  writer->append(entry(0, 2, 2, 0));
+  writer->append(entry(1, 3, 3, 0));
+  ASSERT_TRUE(writer->finalize());
+  auto store = TraceStore::open(dir);
+  ASSERT_TRUE(store.has_value());
+  EXPECT_EQ(store->total_entries(), 2u);
+}
+
+TEST(Store, UnfinalizedStoreHasNoManifest) {
+  const std::string dir = fresh_dir("unfinalized");
+  {
+    auto writer = SegmentWriter::create(dir);
+    writer->append(entry(0, 1, 1, 0));
+    ASSERT_TRUE(writer->finalize());
+  }
+  // A crash before the manifest publish leaves segments but no manifest:
+  // the store must refuse to open rather than guess at the contents.
+  std::filesystem::remove(dir + "/MANIFEST");
+  std::string error;
+  EXPECT_FALSE(TraceStore::open(dir, {}, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Store, TruncatedSegmentSkippedWithWarning) {
+  const std::string dir = fresh_dir("crash");
+  StoreOptions options;
+  options.max_entries_per_segment = 50;
+  auto writer = SegmentWriter::create(dir, options);
+  const trace::Trace t = make_monitor_trace(150, 0, 5);
+  for (const auto& e : t.entries()) writer->append(e);
+  ASSERT_TRUE(writer->finalize());
+
+  auto before = TraceStore::open(dir);
+  ASSERT_TRUE(before.has_value());
+  const std::size_t total_segments = before->segments().size();
+  ASSERT_GE(total_segments, 3u);
+
+  // Simulate a torn write on the middle segment.
+  const std::string victim = before->segment_path(1);
+  std::filesystem::resize_file(victim,
+                               std::filesystem::file_size(victim) - 7);
+
+  auto store = TraceStore::open(dir);
+  ASSERT_TRUE(store.has_value());
+  EXPECT_EQ(store->segments().size(), total_segments - 1);
+  ASSERT_FALSE(store->warnings().empty());
+  EXPECT_NE(store->warnings()[0].find("seg-000001"), std::string::npos);
+  // The surviving segments still stream fine.
+  EXPECT_EQ(drain(*store).size(), store->total_entries());
+}
+
+TEST(Store, PruneBeforeDropsWholeSegments) {
+  const std::string dir = fresh_dir("prune");
+  StoreOptions options;
+  options.max_entries_per_segment = 25;
+  auto writer = SegmentWriter::create(dir, options);
+  for (int i = 0; i < 100; ++i) writer->append(entry(i * kSecond, 1, 1, 0));
+  ASSERT_TRUE(writer->finalize());
+
+  auto store = TraceStore::open(dir);
+  ASSERT_TRUE(store.has_value());
+  const std::size_t before = store->segments().size();
+  ASSERT_GE(before, 4u);
+  const std::size_t removed = store->prune_before(50 * kSecond);
+  EXPECT_GE(removed, 1u);
+  EXPECT_EQ(store->segments().size(), before - removed);
+  for (const auto& seg : store->segments()) {
+    EXPECT_GE(seg.footer.max_time, 50 * kSecond);
+  }
+  // The rewritten manifest reflects the prune on reopen.
+  auto reopened = TraceStore::open(dir);
+  ASSERT_TRUE(reopened.has_value());
+  EXPECT_EQ(reopened->segments().size(), before - removed);
+}
+
+// --- Out-of-core unify ----------------------------------------------------------
+
+TEST(Unify, MatchesInMemoryUnifyExactly) {
+  std::vector<trace::Trace> traces;
+  for (std::uint64_t m = 0; m < 3; ++m) {
+    traces.push_back(
+        make_monitor_trace(400, static_cast<trace::MonitorId>(m), 10 + m));
+  }
+
+  std::vector<TraceStore> stores;
+  StoreOptions options;
+  options.max_entries_per_segment = 64;  // force several segments each
+  for (std::size_t m = 0; m < traces.size(); ++m) {
+    const std::string dir = fresh_dir("unify_in_" + std::to_string(m));
+    auto writer = SegmentWriter::create(dir, options);
+    for (const auto& e : traces[m].entries()) writer->append(e);
+    ASSERT_TRUE(writer->finalize());
+    auto store = TraceStore::open(dir, options);
+    ASSERT_TRUE(store.has_value());
+    stores.push_back(std::move(*store));
+  }
+
+  std::vector<const trace::Trace*> mem_inputs;
+  for (const auto& t : traces) mem_inputs.push_back(&t);
+  const trace::Trace expected = trace::unify(mem_inputs);
+
+  std::vector<const TraceStore*> store_inputs;
+  for (const auto& s : stores) store_inputs.push_back(&s);
+  trace::Trace streamed;
+  const UnifyStats stats = unify_stores(
+      store_inputs,
+      [&streamed](const trace::TraceEntry& e) { streamed.append(e); });
+
+  EXPECT_EQ(stats.entries, expected.size());
+  ASSERT_EQ(streamed.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_TRUE(entries_equal(streamed.entries()[i], expected.entries()[i]))
+        << i;
+  }
+  // The whole point: window state stays tiny relative to the trace.
+  EXPECT_GT(stats.peak_window_keys, 0u);
+  EXPECT_LT(stats.peak_window_keys, expected.size() / 2);
+}
+
+TEST(Unify, ToStoreRoundTrips) {
+  const trace::Trace a = make_monitor_trace(200, 0, 20);
+  const trace::Trace b = make_monitor_trace(200, 1, 21);
+  StoreOptions options;
+  options.max_entries_per_segment = 64;
+
+  std::vector<TraceStore> stores;
+  std::size_t idx = 0;
+  for (const auto* t : {&a, &b}) {
+    const std::string dir = fresh_dir("unify_store_in_" + std::to_string(idx++));
+    auto writer = SegmentWriter::create(dir, options);
+    for (const auto& e : t->entries()) writer->append(e);
+    ASSERT_TRUE(writer->finalize());
+    stores.push_back(std::move(*TraceStore::open(dir, options)));
+  }
+
+  const std::string out_dir = fresh_dir("unify_store_out");
+  auto out = SegmentWriter::create(out_dir, options);
+  const UnifyStats stats = unify_to_store({&stores[0], &stores[1]}, *out);
+  ASSERT_TRUE(out->finalize());
+  EXPECT_EQ(stats.entries, 400u);
+
+  auto unified_store = TraceStore::open(out_dir);
+  ASSERT_TRUE(unified_store.has_value());
+  const trace::Trace expected = trace::unify({&a, &b});
+  const trace::Trace back = drain(*unified_store);
+  ASSERT_EQ(back.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_TRUE(entries_equal(back.entries()[i], expected.entries()[i])) << i;
+  }
+}
+
+// --- Scan executor --------------------------------------------------------------
+
+class ScanFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Four time-disjoint segments with disjoint peer/CID ranges, so both
+    // pruning axes have something to bite on. The dir carries the test
+    // name: ctest -j runs each TEST_F as its own process, so a shared
+    // path would be wiped mid-run by a sibling's SetUp.
+    const std::string dir = fresh_dir(
+        std::string("scan_") +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    StoreOptions options;
+    options.max_entries_per_segment = 100;
+    auto writer = SegmentWriter::create(dir, options);
+    for (int seg = 0; seg < 4; ++seg) {
+      for (int i = 0; i < 100; ++i) {
+        full_.append(entry((seg * 1000 + i) * kSecond, seg * 100 + i,
+                           seg * 100 + i, 0));
+      }
+    }
+    for (const auto& e : full_.entries()) writer->append(e);
+    ASSERT_TRUE(writer->finalize());
+    store_.emplace(std::move(*TraceStore::open(dir, options)));
+    ASSERT_EQ(store_->segments().size(), 4u);
+  }
+
+  trace::Trace run(const ScanQuery& query, ScanStats* stats = nullptr,
+                   std::size_t threads = 2) {
+    trace::Trace out;
+    const ScanExecutor executor(threads);
+    const ScanStats s = executor.scan(
+        *store_, query,
+        [&out](const trace::TraceEntry& e) { out.append(e); });
+    if (stats != nullptr) *stats = s;
+    return out;
+  }
+
+  trace::Trace full_;
+  std::optional<TraceStore> store_;
+};
+
+TEST_F(ScanFixture, FullScanReturnsEverythingInOrder) {
+  ScanStats stats;
+  const trace::Trace got = run(ScanQuery{}, &stats);
+  ASSERT_EQ(got.size(), full_.size());
+  for (std::size_t i = 0; i < full_.size(); ++i) {
+    EXPECT_TRUE(entries_equal(got.entries()[i], full_.entries()[i])) << i;
+  }
+  EXPECT_EQ(stats.segments_total, 4u);
+  EXPECT_EQ(stats.segments_scanned, 4u);
+  EXPECT_EQ(stats.entries_matched, full_.size());
+}
+
+TEST_F(ScanFixture, TimeRangePrunesSegments) {
+  ScanQuery query;
+  query.min_time = 1000 * kSecond;
+  query.max_time = 1099 * kSecond;
+  ScanStats stats;
+  const trace::Trace got = run(query, &stats);
+  const trace::Trace expected =
+      full_.filter([&](const trace::TraceEntry& e) { return query.matches(e); });
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_TRUE(entries_equal(got.entries()[i], expected.entries()[i])) << i;
+  }
+  EXPECT_GE(stats.segments_pruned_time, 2u);
+  EXPECT_LE(stats.segments_scanned, 2u);
+}
+
+TEST_F(ScanFixture, PeerQueryUsesBloomPruning) {
+  ScanQuery query;
+  query.peers = {peer_n(105)};  // lives in segment 1 only
+  ScanStats stats;
+  const trace::Trace got = run(query, &stats);
+  const trace::Trace expected =
+      full_.filter([&](const trace::TraceEntry& e) { return query.matches(e); });
+  ASSERT_EQ(got.size(), expected.size());
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_TRUE(entries_equal(got.entries()[0], expected.entries()[0]));
+  EXPECT_GE(stats.segments_pruned_bloom, 1u);
+}
+
+TEST_F(ScanFixture, CidQueryUsesBloomPruning) {
+  ScanQuery query;
+  query.cids = {cid_n(210), cid_n(211)};  // segment 2 only
+  ScanStats stats;
+  const trace::Trace got = run(query, &stats);
+  EXPECT_EQ(got.size(), 2u);
+  EXPECT_GE(stats.segments_pruned_bloom, 1u);
+  for (const auto& e : got.entries()) {
+    EXPECT_TRUE(query.matches(e));
+  }
+}
+
+TEST_F(ScanFixture, AbsentKeyMatchesNothing) {
+  ScanQuery query;
+  query.peers = {peer_n(9999)};
+  ScanStats stats;
+  const trace::Trace got = run(query, &stats);
+  EXPECT_EQ(got.size(), 0u);
+  // Bloom pruning should kill (almost) every segment outright.
+  EXPECT_GE(stats.segments_pruned_bloom, 3u);
+}
+
+TEST_F(ScanFixture, SingleThreadMatchesMultiThread) {
+  ScanQuery query;
+  query.min_time = 500 * kSecond;
+  const trace::Trace one = run(query, nullptr, 1);
+  const trace::Trace four = run(query, nullptr, 4);
+  ASSERT_EQ(one.size(), four.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_TRUE(entries_equal(one.entries()[i], four.entries()[i])) << i;
+  }
+}
+
+TEST(Scan, CorruptSegmentSkippedWithWarning) {
+  const std::string dir = fresh_dir("scan_corrupt");
+  StoreOptions options;
+  options.max_entries_per_segment = 50;
+  auto writer = SegmentWriter::create(dir, options);
+  for (int i = 0; i < 150; ++i) writer->append(entry(i * kSecond, i, i, 0));
+  ASSERT_TRUE(writer->finalize());
+
+  auto probe = TraceStore::open(dir, options);
+  ASSERT_TRUE(probe.has_value());
+  // Flip a body byte: the footer stays valid (so open() keeps the
+  // segment), but the decode-time body checksum fails during the scan.
+  const std::string victim = probe->segment_path(1);
+  {
+    std::fstream f(victim, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(10);
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(10);
+    byte = static_cast<char>(byte ^ 0x55);
+    f.write(&byte, 1);
+  }
+
+  auto store = TraceStore::open(dir, options);
+  ASSERT_TRUE(store.has_value());
+  ASSERT_EQ(store->segments().size(), 3u);
+  trace::Trace got;
+  const ScanExecutor executor(2);
+  executor.scan(*store, ScanQuery{},
+                [&got](const trace::TraceEntry& e) { got.append(e); });
+  EXPECT_EQ(got.size(), 100u);  // the two intact segments
+  EXPECT_FALSE(store->warnings().empty());
+}
+
+// --- Monitor spill integration --------------------------------------------------
+
+TEST(StudySpill, MonitorsSpillAndUnifyOutOfCore) {
+  const std::string root = fresh_dir("study_spill");
+  scenario::StudyConfig config;
+  config.population.node_count = 60;
+  config.catalog.item_count = 120;
+  config.warmup = 1 * kHour;
+  config.duration = 2 * kHour;
+  config.collect_metrics = false;
+  config.monitor_spill_dir = root;
+
+  scenario::MonitoringStudy study(config);
+  study.run();
+  ASSERT_TRUE(study.finalize_monitor_spill());
+
+  const std::vector<std::string> dirs = study.monitor_store_dirs();
+  ASSERT_EQ(dirs.size(), config.monitor_count);
+  // Spilling monitors hold nothing in memory.
+  for (auto* m : study.monitors()) {
+    EXPECT_TRUE(m->spilling());
+    EXPECT_TRUE(m->recorded().empty());
+  }
+
+  std::vector<TraceStore> stores;
+  std::uint64_t total = 0;
+  for (const auto& dir : dirs) {
+    auto store = TraceStore::open(dir);
+    ASSERT_TRUE(store.has_value()) << dir;
+    EXPECT_TRUE(store->warnings().empty());
+    total += store->total_entries();
+    stores.push_back(std::move(*store));
+  }
+  EXPECT_GT(total, 0u);
+
+  std::vector<const TraceStore*> inputs;
+  for (const auto& s : stores) inputs.push_back(&s);
+  std::uint64_t streamed = 0;
+  util::SimTime prev = 0;
+  const UnifyStats stats = unify_stores(
+      inputs, [&](const trace::TraceEntry& e) {
+        EXPECT_GE(e.timestamp, prev);  // time-ordered output
+        prev = e.timestamp;
+        ++streamed;
+      });
+  EXPECT_EQ(streamed, total);
+  EXPECT_EQ(stats.entries, total);
+}
+
+}  // namespace
+}  // namespace ipfsmon::tracestore
