@@ -1,0 +1,236 @@
+// exp_query_throughput — serving performance of the trace query daemon.
+//
+// Builds a synthetic trace store, starts the query service in-process on an
+// ephemeral loopback port, and drives it with N concurrent client threads
+// issuing a mixed endpoint workload (range stats on the rollup path, forced
+// cold scans, health checks). Reports requests/s and p50/p99/max latency
+// per workload, and writes a BENCH_query.json artifact so the perf
+// trajectory accumulates across revisions.
+//
+// Flags: --entries=N --clients=N --requests=N (per client) --workers=N
+//        --cache=N
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "query/client.hpp"
+#include "query/engine.hpp"
+#include "query/server.hpp"
+#include "tracestore/store.hpp"
+#include "util/rng.hpp"
+
+using namespace ipfsmon;
+
+namespace {
+
+trace::Trace make_trace(std::size_t n, std::uint64_t seed) {
+  util::RngStream rng(seed, "query-bench");
+  trace::Trace t;
+  util::SimTime ts = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ts += rng.uniform_index(2 * util::kSecond);
+    trace::TraceEntry e;
+    e.timestamp = ts;
+    crypto::PeerId::Digest digest{};
+    const auto peer = rng.uniform_index(4000);
+    digest[0] = static_cast<std::uint8_t>(peer);
+    digest[1] = static_cast<std::uint8_t>(peer >> 8);
+    e.peer = crypto::PeerId(digest);
+    e.address =
+        net::Address{0x0a000001u + static_cast<std::uint32_t>(peer), 4001};
+    e.cid = cid::Cid::of_data(
+        cid::Multicodec::Raw,
+        util::bytes_of("bench cid " +
+                       std::to_string(rng.uniform_index(20000))));
+    const auto type = rng.uniform_index(4);
+    e.type = type == 0   ? bitswap::WantType::Cancel
+             : type == 1 ? bitswap::WantType::WantBlock
+                         : bitswap::WantType::WantHave;
+    if (rng.uniform_index(4) == 0) e.flags |= trace::kRebroadcast;
+    if (rng.uniform_index(6) == 0) e.flags |= trace::kInterMonitorDuplicate;
+    t.append(std::move(e));
+  }
+  return t;
+}
+
+struct WorkloadResult {
+  std::string name;
+  std::size_t requests = 0;
+  std::size_t failures = 0;
+  double seconds = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
+
+  double rps() const { return seconds > 0 ? requests / seconds : 0; }
+};
+
+/// Drives `target(rng)` from `clients` threads, `per_client` requests each.
+WorkloadResult drive(const char* name, std::uint16_t port, int clients,
+                     int per_client,
+                     const std::function<std::string(util::RngStream&)>&
+                         target) {
+  std::vector<std::vector<double>> latencies(clients);
+  std::atomic<std::size_t> failures{0};
+  bench::Stopwatch watch;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      util::RngStream rng(static_cast<std::uint64_t>(c) + 1, "bench-client");
+      latencies[c].reserve(per_client);
+      for (int i = 0; i < per_client; ++i) {
+        const std::string t = target(rng);
+        bench::Stopwatch request_watch;
+        const auto response = query::http_get("127.0.0.1", port, t);
+        latencies[c].push_back(request_watch.seconds() * 1000.0);
+        if (!response || response->status != 200) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  WorkloadResult result;
+  result.name = name;
+  result.seconds = watch.seconds();
+  result.failures = failures.load();
+  std::vector<double> all;
+  for (auto& l : latencies) all.insert(all.end(), l.begin(), l.end());
+  result.requests = all.size();
+  std::sort(all.begin(), all.end());
+  auto quantile = [&all](double q) {
+    if (all.empty()) return 0.0;
+    const auto index = static_cast<std::size_t>(q * (all.size() - 1));
+    return all[index];
+  };
+  result.p50_ms = quantile(0.50);
+  result.p99_ms = quantile(0.99);
+  result.max_ms = all.empty() ? 0.0 : all.back();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const auto entries = flags.get_u64("entries", 200000);
+  const int clients = static_cast<int>(flags.get_u64("clients", 8));
+  const int per_client = static_cast<int>(flags.get_u64("requests", 200));
+  const std::string dir = "/tmp/ipfsmon_bench_query_store";
+
+  bench::print_header("exp_query_throughput",
+                      "query daemon serving performance (loopback)");
+  bench::Stopwatch total;
+
+  std::printf("building synthetic store: %llu entries -> %s\n",
+              static_cast<unsigned long long>(entries), dir.c_str());
+  const trace::Trace t = make_trace(entries, 7);
+  {
+    auto writer = tracestore::SegmentWriter::create(dir);
+    if (writer == nullptr) {
+      std::fprintf(stderr, "cannot create %s\n", dir.c_str());
+      return 1;
+    }
+    for (const auto& e : t.entries()) writer->append(e);
+    if (!writer->finalize()) return 1;
+  }
+
+  query::QueryOptions query_options;
+  query_options.cache_capacity = flags.get_u64("cache", 128);
+  auto service = query::QueryService::open(dir, query_options);
+  if (service == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", dir.c_str());
+    return 1;
+  }
+  query::ServerOptions server_options;
+  server_options.worker_threads = flags.get_u64("workers", 4);
+  query::HttpServer server(server_options,
+                           [&service](const query::HttpRequest& request) {
+                             return service->handle(request);
+                           });
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "cannot start server: %s\n", error.c_str());
+    return 1;
+  }
+  service->attach_server(&server);
+  std::printf("store: %zu segments, %zu rollups; serving on port %u with "
+              "%zu workers, %d clients x %d requests\n",
+              service->store().segments().size(), service->rollups_loaded(),
+              server.port(), server_options.worker_threads, clients,
+              per_client);
+
+  const util::SimTime lo = service->store().min_time();
+  const util::SimTime hi = service->store().max_time();
+  auto random_range = [lo, hi](util::RngStream& rng) {
+    const auto span = static_cast<std::uint64_t>(hi - lo + 1);
+    util::SimTime a = lo + static_cast<util::SimTime>(rng.uniform_index(span));
+    util::SimTime b = lo + static_cast<util::SimTime>(rng.uniform_index(span));
+    if (a > b) std::swap(a, b);
+    return util::format("?min_t=%lld&max_t=%lld", static_cast<long long>(a),
+                        static_cast<long long>(b));
+  };
+
+  std::vector<WorkloadResult> results;
+  results.push_back(drive("healthz", server.port(), clients, per_client,
+                          [](util::RngStream&) {
+                            return std::string("/healthz");
+                          }));
+  results.push_back(drive("stats_rollup", server.port(), clients, per_client,
+                          [&](util::RngStream& rng) {
+                            return "/v1/stats" + random_range(rng);
+                          }));
+  results.push_back(drive("stats_cached", server.port(), clients, per_client,
+                          [](util::RngStream&) {
+                            return std::string("/v1/stats");
+                          }));
+  results.push_back(drive("stats_cold_scan", server.port(), clients,
+                          std::max(1, per_client / 10),
+                          [&](util::RngStream& rng) {
+                            return "/v1/stats" + random_range(rng) +
+                                   "&force=scan";
+                          }));
+
+  bench::print_section("results");
+  std::printf("  %-16s %10s %9s %9s %9s %9s %6s\n", "workload", "req/s",
+              "p50 ms", "p99 ms", "max ms", "total", "fail");
+  for (const auto& r : results) {
+    std::printf("  %-16s %10.0f %9.3f %9.3f %9.3f %9zu %6zu\n",
+                r.name.c_str(), r.rps(), r.p50_ms, r.p99_ms, r.max_ms,
+                r.requests, r.failures);
+  }
+
+  const std::string artifact = "BENCH_query.json";
+  std::FILE* out = std::fopen(artifact.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", artifact.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\"bench\":\"query_throughput\",\"entries\":%llu,"
+               "\"segments\":%zu,\"clients\":%d,\"workers\":%zu,"
+               "\"workloads\":[",
+               static_cast<unsigned long long>(entries),
+               service->store().segments().size(), clients,
+               server_options.worker_threads);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(out,
+                 "%s{\"name\":\"%s\",\"requests\":%zu,\"failures\":%zu,"
+                 "\"rps\":%.1f,\"p50_ms\":%.3f,\"p99_ms\":%.3f,"
+                 "\"max_ms\":%.3f}",
+                 i == 0 ? "" : ",", r.name.c_str(), r.requests, r.failures,
+                 r.rps(), r.p50_ms, r.p99_ms, r.max_ms);
+  }
+  std::fprintf(out, "]}\n");
+  std::fclose(out);
+  std::printf("\n[run] artifact: %s\n", artifact.c_str());
+
+  server.stop();
+  bench::print_run_footer(total);
+  std::size_t failures = 0;
+  for (const auto& r : results) failures += r.failures;
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,199 @@
+// ipfsmon-queryd — the trace query daemon.
+//
+// Serves a trace-store directory (as written by spilling monitors or the
+// preprocessing pipeline) over HTTP: health, Prometheus metrics, range
+// statistics, content popularity, and per-peer want histories. Statistics
+// are answered rollup-first from the per-segment sidecars; rendered
+// results are LRU-cached keyed by the store's manifest fingerprint.
+//
+// Usage: ipfsmon_queryd --store <dir> [--port N] [--bind ADDR]
+//                       [--workers N] [--cache N] [--no-rollups]
+//        ipfsmon_queryd --demo-store   (simulate, spill, unify, serve)
+//
+// SIGINT/SIGTERM drain gracefully: in-flight requests finish, then the
+// listener and workers shut down.
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "query/engine.hpp"
+#include "query/server.hpp"
+#include "scenario/study.hpp"
+#include "tracestore/merge.hpp"
+
+using namespace ipfsmon;
+
+namespace {
+
+int g_signal_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  const char byte = 's';
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+/// Runs a small monitoring study with spilling monitors and unifies the
+/// per-monitor stores into one servable directory.
+std::string make_demo_store() {
+  std::printf("generating a demo trace store (small monitoring study)...\n");
+  scenario::StudyConfig config;
+  config.population.node_count = 150;
+  config.catalog.item_count = 400;
+  config.warmup = 2 * util::kHour;
+  config.duration = 6 * util::kHour;
+  config.monitor_spill_dir = "/tmp/ipfsmon_queryd_demo_monitors";
+  scenario::MonitoringStudy study(config);
+  study.run();
+  if (!study.finalize_monitor_spill()) {
+    std::fprintf(stderr, "error: finalizing monitor spill stores failed\n");
+    return {};
+  }
+
+  std::vector<tracestore::TraceStore> stores;
+  std::vector<const tracestore::TraceStore*> inputs;
+  for (const auto& dir : study.monitor_store_dirs()) {
+    std::string error;
+    auto store = tracestore::TraceStore::open(dir, {}, &error);
+    if (!store) {
+      std::fprintf(stderr, "error: cannot open %s: %s\n", dir.c_str(),
+                   error.c_str());
+      return {};
+    }
+    stores.push_back(std::move(*store));
+  }
+  for (const auto& store : stores) inputs.push_back(&store);
+
+  const std::string unified_dir = "/tmp/ipfsmon_queryd_demo_store";
+  std::string error;
+  auto writer = tracestore::SegmentWriter::create(unified_dir, {}, &error);
+  if (writer == nullptr) {
+    std::fprintf(stderr, "error: cannot create %s: %s\n", unified_dir.c_str(),
+                 error.c_str());
+    return {};
+  }
+  tracestore::unify_to_store(inputs, *writer);
+  if (!writer->finalize()) {
+    std::fprintf(stderr, "error: failed to finalize %s\n",
+                 unified_dir.c_str());
+    return {};
+  }
+  std::printf("unified %zu monitor stores into %s\n\n", stores.size(),
+              unified_dir.c_str());
+  return unified_dir;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --store <dir> [--port N] [--bind ADDR] "
+               "[--workers N] [--cache N] [--no-rollups]\n"
+               "       %s --demo-store\n",
+               argv0, argv0);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string store_dir;
+  bool demo = false;
+  query::QueryOptions query_options;
+  query::ServerOptions server_options;
+  server_options.port = 7878;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--store") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      store_dir = v;
+    } else if (arg == "--demo-store") {
+      demo = true;
+    } else if (arg == "--port") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      server_options.port = static_cast<std::uint16_t>(std::atoi(v));
+    } else if (arg == "--bind") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      server_options.bind_address = v;
+    } else if (arg == "--workers") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      server_options.worker_threads =
+          static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--cache") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      query_options.cache_capacity = static_cast<std::size_t>(std::atoi(v));
+    } else if (arg == "--no-rollups") {
+      query_options.use_rollups = false;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (demo) {
+    store_dir = make_demo_store();
+    if (store_dir.empty()) return 1;
+  }
+  if (store_dir.empty()) return usage(argv[0]);
+
+  std::string error;
+  auto service = query::QueryService::open(store_dir, query_options, &error);
+  if (service == nullptr) {
+    std::fprintf(stderr, "error: cannot open store %s: %s\n",
+                 store_dir.c_str(), error.c_str());
+    return 1;
+  }
+  std::printf("store %s: %zu segments, %llu entries, %zu/%zu rollups\n",
+              store_dir.c_str(), service->store().segments().size(),
+              static_cast<unsigned long long>(service->store().total_entries()),
+              service->rollups_loaded(), service->store().segments().size());
+
+  query::HttpServer server(server_options,
+                           [&service](const query::HttpRequest& request) {
+                             return service->handle(request);
+                           });
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "error: cannot start server: %s\n", error.c_str());
+    return 1;
+  }
+  service->attach_server(&server);
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "error: pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction action {};
+  action.sa_handler = on_signal;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+
+  const std::string base = "http://" + server_options.bind_address + ":" +
+                           std::to_string(server.port());
+  std::printf("listening on %s (%zu workers)\n", base.c_str(),
+              server_options.worker_threads);
+  std::printf("  curl %s/healthz\n", base.c_str());
+  std::printf("  curl %s/metrics\n", base.c_str());
+  std::printf("  curl '%s/v1/stats?min_t=0'\n", base.c_str());
+  std::printf("  curl '%s/v1/popularity?k=5'\n", base.c_str());
+  std::printf("  curl %s/v1/segments\n", base.c_str());
+
+  char byte = 0;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::printf("\nshutting down (draining %zu in-flight connections)...\n",
+              server.in_flight());
+  server.stop();
+  const query::ServerCounters counters = server.counters();
+  std::printf("served %llu requests on %llu connections\n",
+              static_cast<unsigned long long>(counters.requests),
+              static_cast<unsigned long long>(counters.connections_accepted));
+  return 0;
+}

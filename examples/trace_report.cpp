@@ -139,6 +139,11 @@ void print_report(const ReportAccumulators& acc) {
   }
 }
 
+// Distinct exit codes so scripts can tell "wrong path" from "bad data":
+// 2 = an input file is missing/unopenable, 3 = an input parsed as garbage.
+constexpr int kExitMissingInput = 2;
+constexpr int kExitCorruptInput = 3;
+
 int report_files(const std::vector<std::string>& paths,
                  const net::GeoDatabase& geo) {
   std::vector<trace::Trace> traces;
@@ -148,7 +153,8 @@ int report_files(const std::vector<std::string>& paths,
     if (!t) {
       std::fprintf(stderr, "error: cannot load %s: %s\n", path.c_str(),
                    std::string(trace::load_error_name(why)).c_str());
-      return 1;
+      return why == trace::LoadError::kCorrupt ? kExitCorruptInput
+                                               : kExitMissingInput;
     }
     std::printf("loaded %s: %zu entries\n", path.c_str(), t->size());
     traces.push_back(std::move(*t));

@@ -1,17 +1,23 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, run the full test suite, then
-# rebuild the obs + tracestore suites under AddressSanitizer and run
-# `ctest -L 'obs|tracestore'`.
+# rebuild the obs + tracestore + query suites under AddressSanitizer
+# (`ctest -L 'obs|tracestore|query'`) and the concurrent query + tracestore
+# suites under ThreadSanitizer (`ctest -L 'query|tracestore'`).
 #
-# Usage: scripts/check.sh [--no-asan]
+# Usage: scripts/check.sh [--no-asan] [--no-tsan]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 RUN_ASAN=1
-if [[ "${1:-}" == "--no-asan" ]]; then
-  RUN_ASAN=0
-fi
+RUN_TSAN=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-asan) RUN_ASAN=0 ;;
+    --no-tsan) RUN_TSAN=0 ;;
+    *) echo "unknown argument: $arg" >&2; exit 1 ;;
+  esac
+done
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
@@ -21,10 +27,19 @@ cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure
 
 if [[ "$RUN_ASAN" == "1" ]]; then
-  echo "== asan: obs + tracestore suites under -DIPFSMON_SANITIZE=address =="
+  echo "== asan: obs + tracestore + query suites under -DIPFSMON_SANITIZE=address =="
   cmake -B build-asan -S . -DIPFSMON_SANITIZE=address >/dev/null
-  cmake --build build-asan -j "$JOBS" --target obs_test tracestore_test
-  ctest --test-dir build-asan -L 'obs|tracestore' --output-on-failure
+  cmake --build build-asan -j "$JOBS" --target obs_test tracestore_test \
+    query_test trace_report
+  ctest --test-dir build-asan -L 'obs|tracestore|query' --output-on-failure
+fi
+
+if [[ "$RUN_TSAN" == "1" ]]; then
+  echo "== tsan: query + tracestore suites under -DIPFSMON_SANITIZE=thread =="
+  cmake -B build-tsan -S . -DIPFSMON_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS" --target query_test tracestore_test \
+    trace_report
+  ctest --test-dir build-tsan -L 'query|tracestore' --output-on-failure
 fi
 
 echo "== all checks passed =="

@@ -1,0 +1,112 @@
+#include "query/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ipfsmon::query {
+
+namespace {
+
+int connect_to(const std::string& host, std::uint16_t port, int timeout_ms,
+               std::string* error) {
+  auto fail = [&](const char* what, int fd) {
+    if (error != nullptr) {
+      *error = std::string(what) + ": " + std::strerror(errno);
+    }
+    if (fd >= 0) ::close(fd);
+    return -1;
+  };
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return fail("socket", fd);
+  if (timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return fail("inet_pton", fd);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return fail("connect", fd);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool send_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string recv_until_close(int fd) {
+  std::string out;
+  char chunk[8192];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // closed, error, or timeout — return what we have
+    out.append(chunk, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<HttpResponse> http_get(const std::string& host,
+                                     std::uint16_t port,
+                                     const std::string& target, int timeout_ms,
+                                     std::string* error) {
+  const int fd = connect_to(host, port, timeout_ms, error);
+  if (fd < 0) return std::nullopt;
+  const std::string request = "GET " + target +
+                              " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  if (!send_all(fd, request)) {
+    if (error != nullptr) *error = "send failed";
+    ::close(fd);
+    return std::nullopt;
+  }
+  const std::string raw = recv_until_close(fd);
+  ::close(fd);
+  auto response = parse_response(raw);
+  if (!response && error != nullptr) *error = "unparseable response";
+  return response;
+}
+
+std::optional<std::string> raw_exchange(const std::string& host,
+                                        std::uint16_t port,
+                                        const std::string& bytes,
+                                        int timeout_ms, bool half_close,
+                                        std::string* error) {
+  const int fd = connect_to(host, port, timeout_ms, error);
+  if (fd < 0) return std::nullopt;
+  if (!bytes.empty() && !send_all(fd, bytes)) {
+    if (error != nullptr) *error = "send failed";
+    ::close(fd);
+    return std::nullopt;
+  }
+  if (half_close) ::shutdown(fd, SHUT_WR);
+  const std::string raw = recv_until_close(fd);
+  ::close(fd);
+  return raw;
+}
+
+}  // namespace ipfsmon::query

@@ -1,0 +1,32 @@
+// A tiny blocking HTTP client for loopback use: the query tests drive the
+// daemon end-to-end with it, and the throughput bench uses it as the load
+// generator. One request per call, "Connection: close" framing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "query/http.hpp"
+
+namespace ipfsmon::query {
+
+/// GET `target` from host:port; nullopt on connect/IO/parse failure.
+std::optional<HttpResponse> http_get(const std::string& host,
+                                     std::uint16_t port,
+                                     const std::string& target,
+                                     int timeout_ms = 5000,
+                                     std::string* error = nullptr);
+
+/// Sends `bytes` verbatim and returns everything the server answers until
+/// it closes (or the timeout hits). For malformed-request tests. When
+/// `half_close` is set the write side shuts down after sending, signalling
+/// an early client disconnect.
+std::optional<std::string> raw_exchange(const std::string& host,
+                                        std::uint16_t port,
+                                        const std::string& bytes,
+                                        int timeout_ms = 5000,
+                                        bool half_close = false,
+                                        std::string* error = nullptr);
+
+}  // namespace ipfsmon::query

@@ -1,0 +1,593 @@
+#include "query/engine.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+
+#include "analysis/popularity.hpp"
+#include "obs/exporters.hpp"
+#include "tracestore/bloom.hpp"
+#include "util/strings.hpp"
+
+namespace ipfsmon::query {
+
+namespace {
+
+void add_entry(RangeStats* out, const trace::TraceEntry& entry) {
+  ++out->total;
+  switch (entry.type) {
+    case bitswap::WantType::WantHave: ++out->want_have; break;
+    case bitswap::WantType::WantBlock: ++out->want_block; break;
+    case bitswap::WantType::Cancel: ++out->cancels; break;
+  }
+  if (entry.is_duplicate()) ++out->duplicates;
+  if (entry.is_rebroadcast()) ++out->rebroadcasts;
+  if (entry.is_clean()) ++out->clean;
+}
+
+void add_bucket(RangeStats* out, const tracestore::RollupBucket& bucket) {
+  out->total += bucket.entries();
+  out->want_have += bucket.want_have;
+  out->want_block += bucket.want_block;
+  out->cancels += bucket.cancels;
+  out->duplicates += bucket.duplicates;
+  out->rebroadcasts += bucket.rebroadcasts;
+  out->clean += bucket.clean;
+}
+
+bool parse_i64(const std::string& text, std::int64_t* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+bool parse_u64(const std::string& text, std::uint64_t* out) {
+  if (text.empty() || text.front() == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+/// Reads an optional int64 query param; false only on a malformed value.
+bool read_time_param(const HttpRequest& request, const char* name,
+                     util::SimTime* inout) {
+  const auto it = request.params.find(name);
+  if (it == request.params.end()) return true;
+  std::int64_t value = 0;
+  if (!parse_i64(it->second, &value)) return false;
+  *inout = value;
+  return true;
+}
+
+std::string render_stats_json(const RangeStats& stats, util::SimTime min_t,
+                              util::SimTime max_t) {
+  return util::format(
+      "{\"min_time\":%lld,\"max_time\":%lld,\"total\":%llu,"
+      "\"requests\":%llu,\"want_have\":%llu,\"want_block\":%llu,"
+      "\"cancels\":%llu,\"duplicates\":%llu,\"rebroadcasts\":%llu,"
+      "\"clean\":%llu}",
+      static_cast<long long>(min_t), static_cast<long long>(max_t),
+      static_cast<unsigned long long>(stats.total),
+      static_cast<unsigned long long>(stats.want_have + stats.want_block),
+      static_cast<unsigned long long>(stats.want_have),
+      static_cast<unsigned long long>(stats.want_block),
+      static_cast<unsigned long long>(stats.cancels),
+      static_cast<unsigned long long>(stats.duplicates),
+      static_cast<unsigned long long>(stats.rebroadcasts),
+      static_cast<unsigned long long>(stats.clean));
+}
+
+std::string_view json_want_type(bitswap::WantType type) {
+  switch (type) {
+    case bitswap::WantType::WantHave: return "want_have";
+    case bitswap::WantType::WantBlock: return "want_block";
+    case bitswap::WantType::Cancel: return "cancel";
+  }
+  return "unknown";
+}
+
+std::uint64_t hash_u64(std::uint64_t seed, std::uint64_t value) {
+  std::uint8_t bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+  return tracestore::fnv1a64(util::BytesView(bytes, 8), seed);
+}
+
+std::uint64_t hash_str(std::uint64_t seed, std::string_view text) {
+  return tracestore::fnv1a64(
+      util::BytesView(reinterpret_cast<const std::uint8_t*>(text.data()),
+                      text.size()),
+      seed);
+}
+
+}  // namespace
+
+std::string_view to_string(StatsSource source) {
+  switch (source) {
+    case StatsSource::kRollup: return "rollup";
+    case StatsSource::kMixed: return "mixed";
+    case StatsSource::kScan: return "scan";
+  }
+  return "unknown";
+}
+
+QueryService::QueryService(QueryOptions options)
+    : options_(std::move(options)),
+      executor_(options_.scan_threads),
+      cache_(options_.cache_capacity) {
+  options_.store.obs = &obs_;
+}
+
+std::unique_ptr<QueryService> QueryService::open(const std::string& dir,
+                                                 QueryOptions options,
+                                                 std::string* error) {
+  std::unique_ptr<QueryService> service(new QueryService(std::move(options)));
+  std::lock_guard<std::mutex> lock(service->mu_);
+  if (!service->open_store(dir, error)) return nullptr;
+  return service;
+}
+
+bool QueryService::open_store(const std::string& dir, std::string* error) {
+  auto store = tracestore::TraceStore::open(dir, options_.store, error);
+  if (!store) return false;
+  dir_ = dir;
+  store_ = std::move(store);
+
+  rollups_.clear();
+  rollups_.resize(store_->segments().size());
+  std::uint64_t fp = hash_str(0xcbf29ce484222325ull, "ipfsmon-query-v1");
+  for (std::size_t i = 0; i < store_->segments().size(); ++i) {
+    const auto& segment = store_->segments()[i];
+    fp = hash_str(fp, segment.file);
+    fp = hash_u64(fp, segment.footer.entry_count);
+    fp = hash_u64(fp, static_cast<std::uint64_t>(segment.footer.min_time));
+    fp = hash_u64(fp, static_cast<std::uint64_t>(segment.footer.max_time));
+    fp = hash_u64(fp, segment.footer.body_checksum);
+
+    auto rollup = tracestore::read_rollup_file(
+        tracestore::rollup_path_for(store_->segment_path(i)));
+    // A sidecar disagreeing with its segment's footer is as good as absent.
+    if (rollup && (rollup->entry_count != segment.footer.entry_count ||
+                   rollup->bucket_width <= 0)) {
+      store_->warn("rollup sidecar mismatch for " + segment.file);
+      rollup.reset();
+    }
+    rollups_[i] = std::move(rollup);
+  }
+  fingerprint_ = fp;
+  obs_.metrics
+      .gauge("ipfsmon_query_store_segments", "segments in the served store")
+      .set(static_cast<double>(store_->segments().size()));
+  obs_.metrics
+      .gauge("ipfsmon_query_store_rollups", "segments with a valid rollup")
+      .set(static_cast<double>(rollups_loaded_locked()));
+  return true;
+}
+
+bool QueryService::reload(std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  obs_.metrics
+      .counter("ipfsmon_query_reloads_total", "store reloads served")
+      .inc();
+  return open_store(dir_, error);
+}
+
+void QueryService::attach_server(const HttpServer* server) {
+  std::lock_guard<std::mutex> lock(mu_);
+  server_ = server;
+  mirrored_ = ServerCounters{};
+}
+
+std::size_t QueryService::rollups_loaded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rollups_loaded_locked();
+}
+
+std::size_t QueryService::rollups_loaded_locked() const {
+  std::size_t n = 0;
+  for (const auto& rollup : rollups_) {
+    if (rollup.has_value()) ++n;
+  }
+  return n;
+}
+
+RangeStats QueryService::stats_between(util::SimTime min_t, util::SimTime max_t,
+                                       StatsSource* source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_between_locked(min_t, max_t, source);
+}
+
+RangeStats QueryService::stats_by_scan(util::SimTime min_t,
+                                       util::SimTime max_t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_by_scan_locked(min_t, max_t);
+}
+
+RangeStats QueryService::stats_by_scan_locked(util::SimTime min_t,
+                                              util::SimTime max_t) {
+  RangeStats out;
+  tracestore::ScanQuery scan_query;
+  scan_query.min_time = min_t;
+  scan_query.max_time = max_t;
+  executor_.scan(*store_, scan_query,
+                 [&out](const trace::TraceEntry& entry) {
+                   add_entry(&out, entry);
+                 });
+  return out;
+}
+
+RangeStats QueryService::stats_between_locked(util::SimTime min_t,
+                                              util::SimTime max_t,
+                                              StatsSource* source) {
+  RangeStats out;
+  bool used_rollup = false;
+  bool used_decode = false;
+  auto& rollup_segments = obs_.metrics.counter(
+      "ipfsmon_query_stats_rollup_segments_total",
+      "segments answered from rollup sidecars");
+  auto& decoded_segments = obs_.metrics.counter(
+      "ipfsmon_query_stats_decoded_segments_total",
+      "segments needing entry decode (boundary buckets or missing rollup)");
+
+  // Counts entries of segment `index` whose timestamps fall in any of
+  // `windows` (inclusive bounds) — the boundary-bucket / no-rollup path.
+  auto decode_windows =
+      [&](std::size_t index,
+          const std::vector<std::pair<util::SimTime, util::SimTime>>&
+              windows) {
+        auto reader =
+            tracestore::SegmentReader::open(store_->segment_path(index));
+        if (!reader) {
+          // Mirror ScanExecutor: a corrupt segment is skipped, loudly.
+          store_->warn("skipping unreadable segment " +
+                       store_->segments()[index].file);
+          return;
+        }
+        trace::TraceEntry entry;
+        while (reader->next(entry)) {
+          for (const auto& [lo, hi] : windows) {
+            if (entry.timestamp >= lo && entry.timestamp <= hi) {
+              add_entry(&out, entry);
+              break;
+            }
+          }
+        }
+        used_decode = true;
+        decoded_segments.inc();
+      };
+
+  for (std::size_t i = 0; i < store_->segments().size(); ++i) {
+    const auto& footer = store_->segments()[i].footer;
+    if (!footer.overlaps(min_t, max_t)) continue;
+    const auto& rollup = rollups_[i];
+    if (!options_.use_rollups || !rollup) {
+      decode_windows(i, {{min_t, max_t}});
+      continue;
+    }
+    if (footer.min_time >= min_t && footer.max_time <= max_t) {
+      // Whole segment inside the range: rollup totals are exact.
+      for (const auto& bucket : rollup->buckets) add_bucket(&out, bucket);
+      used_rollup = true;
+      rollup_segments.inc();
+      continue;
+    }
+    // Partial overlap: fully-covered buckets come from the rollup; only the
+    // boundary buckets (the ones the range cuts through) need entries.
+    std::vector<std::pair<util::SimTime, util::SimTime>> windows;
+    bool bucket_from_rollup = false;
+    for (const auto& bucket : rollup->buckets) {
+      const util::SimTime lo = bucket.start;
+      const util::SimTime hi = bucket.start + rollup->bucket_width - 1;
+      if (hi < min_t || lo > max_t) continue;
+      if (lo >= min_t && hi <= max_t) {
+        add_bucket(&out, bucket);
+        bucket_from_rollup = true;
+      } else {
+        windows.emplace_back(std::max(lo, min_t), std::min(hi, max_t));
+      }
+    }
+    if (bucket_from_rollup) {
+      used_rollup = true;
+      rollup_segments.inc();
+    }
+    if (!windows.empty()) decode_windows(i, windows);
+  }
+
+  if (source != nullptr) {
+    *source = used_decode
+                  ? (used_rollup ? StatsSource::kMixed : StatsSource::kScan)
+                  : StatsSource::kRollup;
+  }
+  return out;
+}
+
+HttpResponse QueryService::handle(const HttpRequest& request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  obs_.metrics
+      .counter("ipfsmon_query_http_requests_total", "HTTP requests routed")
+      .inc();
+  if (request.method != "GET" && request.method != "HEAD") {
+    return error_response(405, "only GET is supported");
+  }
+  return route(request);
+}
+
+HttpResponse QueryService::route(const HttpRequest& request) {
+  const std::string& path = request.path;
+  if (path == "/healthz") return handle_healthz();
+  if (path == "/metrics") return handle_metrics();
+  if (path == "/v1/stats") return handle_stats(request);
+  if (path == "/v1/popularity") return handle_popularity(request);
+  if (path == "/v1/segments") return handle_segments();
+  const std::string_view prefix = "/v1/peers/";
+  const std::string_view suffix = "/wants";
+  if (path.size() > prefix.size() + suffix.size() &&
+      path.compare(0, prefix.size(), prefix) == 0 &&
+      path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    return handle_peer_wants(
+        request, path.substr(prefix.size(),
+                             path.size() - prefix.size() - suffix.size()));
+  }
+  return error_response(404, "no such endpoint");
+}
+
+HttpResponse QueryService::handle_healthz() {
+  HttpResponse response;
+  response.body = util::format(
+      "{\"status\":\"ok\",\"segments\":%zu,\"entries\":%llu,"
+      "\"rollups\":%zu,\"warnings\":%zu}",
+      store_->segments().size(),
+      static_cast<unsigned long long>(store_->total_entries()),
+      rollups_loaded_locked(), store_->warnings().size());
+  return response;
+}
+
+HttpResponse QueryService::handle_metrics() {
+  // Fold the socket-layer atomics and the cache counters into the registry
+  // by delta, so one Prometheus page covers serving + scanning + any sim
+  // metrics recorded into the same registry.
+  if (server_ != nullptr) {
+    const ServerCounters now = server_->counters();
+    auto mirror = [this](const char* name, const char* help,
+                         std::uint64_t now_value, std::uint64_t* last) {
+      obs_.metrics.counter(name, help).inc(now_value - *last);
+      *last = now_value;
+    };
+    mirror("ipfsmon_query_server_connections_total", "connections accepted",
+           now.connections_accepted, &mirrored_.connections_accepted);
+    mirror("ipfsmon_query_server_rejected_total",
+           "connections refused with 503 (accept queue full)",
+           now.connections_rejected, &mirrored_.connections_rejected);
+    mirror("ipfsmon_query_server_requests_total", "HTTP requests answered",
+           now.requests, &mirrored_.requests);
+    mirror("ipfsmon_query_server_parse_errors_total",
+           "malformed requests rejected", now.parse_errors,
+           &mirrored_.parse_errors);
+    mirror("ipfsmon_query_server_timeouts_total",
+           "reads timed out mid-request", now.timeouts, &mirrored_.timeouts);
+    mirror("ipfsmon_query_server_bytes_read_total", "bytes received",
+           now.bytes_read, &mirrored_.bytes_read);
+    mirror("ipfsmon_query_server_bytes_written_total", "bytes sent",
+           now.bytes_written, &mirrored_.bytes_written);
+  }
+  const std::uint64_t hits = cache_.hits();
+  const std::uint64_t misses = cache_.misses();
+  obs_.metrics
+      .counter("ipfsmon_query_cache_hits_total", "result cache hits")
+      .inc(hits - mirrored_cache_hits_);
+  obs_.metrics
+      .counter("ipfsmon_query_cache_misses_total", "result cache misses")
+      .inc(misses - mirrored_cache_misses_);
+  mirrored_cache_hits_ = hits;
+  mirrored_cache_misses_ = misses;
+
+  HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4";
+  response.body = obs::to_prometheus(obs_.metrics);
+  return response;
+}
+
+HttpResponse QueryService::cached(
+    const HttpRequest& request,
+    const std::function<CachedResponse()>& render) {
+  // Canonical key: store fingerprint + decoded path + the (already sorted)
+  // param map. A reload changes the fingerprint, so stale entries are
+  // simply never asked for again and age out of the LRU.
+  std::string key = util::format("%016llx|",
+                                 static_cast<unsigned long long>(fingerprint_));
+  key += request.path;
+  for (const auto& [name, value] : request.params) {
+    key += '&';
+    key += name;
+    key += '=';
+    key += value;
+  }
+
+  CachedResponse entry;
+  bool hit = cache_.get(key, &entry);
+  if (!hit) {
+    entry = render();
+    cache_.put(key, entry);
+  }
+  HttpResponse response;
+  response.body = entry.body;
+  response.content_type = entry.content_type;
+  if (!entry.source.empty()) {
+    response.headers.emplace_back("X-Source", entry.source);
+  }
+  response.headers.emplace_back("X-Cache", hit ? "hit" : "miss");
+  return response;
+}
+
+HttpResponse QueryService::handle_stats(const HttpRequest& request) {
+  util::SimTime min_t = store_->min_time();
+  util::SimTime max_t = store_->max_time();
+  if (!read_time_param(request, "min_t", &min_t) ||
+      !read_time_param(request, "max_t", &max_t)) {
+    return error_response(400, "min_t/max_t must be integer nanoseconds");
+  }
+  bool force_scan = false;
+  if (const auto it = request.params.find("force");
+      it != request.params.end()) {
+    if (it->second != "scan") return error_response(400, "force=scan only");
+    force_scan = true;
+  }
+  return cached(request, [&]() {
+    StatsSource source = StatsSource::kScan;
+    const RangeStats stats =
+        force_scan ? stats_by_scan_locked(min_t, max_t)
+                   : stats_between_locked(min_t, max_t, &source);
+    return CachedResponse{render_stats_json(stats, min_t, max_t),
+                          "application/json",
+                          std::string(to_string(source))};
+  });
+}
+
+HttpResponse QueryService::handle_popularity(const HttpRequest& request) {
+  util::SimTime min_t = store_->min_time();
+  util::SimTime max_t = store_->max_time();
+  if (!read_time_param(request, "min_t", &min_t) ||
+      !read_time_param(request, "max_t", &max_t)) {
+    return error_response(400, "min_t/max_t must be integer nanoseconds");
+  }
+  std::uint64_t k = 10;
+  if (const auto it = request.params.find("k"); it != request.params.end()) {
+    if (!parse_u64(it->second, &k) || k == 0 || k > 10000) {
+      return error_response(400, "k must be in [1, 10000]");
+    }
+  }
+  bool clean_only = true;
+  if (const auto it = request.params.find("clean_only");
+      it != request.params.end()) {
+    if (it->second != "0" && it->second != "1") {
+      return error_response(400, "clean_only must be 0 or 1");
+    }
+    clean_only = it->second == "1";
+  }
+
+  return cached(request, [&]() {
+    analysis::PopularityAccumulator accumulator(clean_only);
+    tracestore::ScanQuery scan_query;
+    scan_query.min_time = min_t;
+    scan_query.max_time = max_t;
+    executor_.scan(*store_, scan_query,
+                   [&accumulator](const trace::TraceEntry& entry) {
+                     accumulator.add(entry);
+                   });
+    const analysis::PopularityScores scores = accumulator.scores();
+
+    auto render_top =
+        [](const std::vector<std::pair<cid::Cid, std::uint64_t>>& top) {
+          std::string out = "[";
+          for (std::size_t i = 0; i < top.size(); ++i) {
+            if (i != 0) out += ',';
+            out += util::format(
+                "{\"cid\":\"%s\",\"count\":%llu}",
+                top[i].first.to_string().c_str(),
+                static_cast<unsigned long long>(top[i].second));
+          }
+          out += ']';
+          return out;
+        };
+    std::string body = util::format(
+        "{\"min_time\":%lld,\"max_time\":%lld,\"clean_only\":%s,"
+        "\"cids\":%zu,\"single_requester_share\":%.6f,",
+        static_cast<long long>(min_t), static_cast<long long>(max_t),
+        clean_only ? "true" : "false", scores.rrp.size(),
+        scores.single_requester_share());
+    body += "\"top_rrp\":" +
+            render_top(scores.top_rrp(static_cast<std::size_t>(k)));
+    body += ",\"top_urp\":" +
+            render_top(scores.top_urp(static_cast<std::size_t>(k)));
+    body += '}';
+    return CachedResponse{std::move(body), "application/json", "scan"};
+  });
+}
+
+HttpResponse QueryService::handle_peer_wants(const HttpRequest& request,
+                                             const std::string& peer_text) {
+  const auto peer = crypto::PeerId::from_base58(peer_text);
+  if (!peer) return error_response(400, "invalid peer id");
+  util::SimTime min_t = store_->min_time();
+  util::SimTime max_t = store_->max_time();
+  if (!read_time_param(request, "min_t", &min_t) ||
+      !read_time_param(request, "max_t", &max_t)) {
+    return error_response(400, "min_t/max_t must be integer nanoseconds");
+  }
+  std::uint64_t limit = 1000;
+  if (const auto it = request.params.find("limit");
+      it != request.params.end()) {
+    if (!parse_u64(it->second, &limit) || limit == 0 || limit > 100000) {
+      return error_response(400, "limit must be in [1, 100000]");
+    }
+  }
+
+  return cached(request, [&]() {
+    tracestore::ScanQuery scan_query;
+    scan_query.min_time = min_t;
+    scan_query.max_time = max_t;
+    scan_query.peers = {*peer};
+    std::uint64_t total = 0;
+    std::string wants = "[";
+    executor_.scan(*store_, scan_query,
+                   [&](const trace::TraceEntry& entry) {
+                     if (total++ >= limit) return;
+                     if (wants.size() > 1) wants += ',';
+                     wants += util::format(
+                         "{\"t\":%lld,\"type\":\"%s\",\"cid\":\"%s\","
+                         "\"flags\":%u}",
+                         static_cast<long long>(entry.timestamp),
+                         std::string(json_want_type(entry.type)).c_str(),
+                         entry.cid.to_string().c_str(), entry.flags);
+                   });
+    wants += ']';
+    std::string body = util::format(
+        "{\"peer\":\"%s\",\"total\":%llu,\"returned\":%llu,\"wants\":",
+        peer->to_base58().c_str(), static_cast<unsigned long long>(total),
+        static_cast<unsigned long long>(std::min<std::uint64_t>(total, limit)));
+    body += wants;
+    body += '}';
+    return CachedResponse{std::move(body), "application/json", "scan"};
+  });
+}
+
+HttpResponse QueryService::handle_segments() {
+  std::string body = util::format(
+      "{\"dir\":\"%s\",\"fingerprint\":\"%016llx\",\"segments\":[",
+      dir_.c_str(), static_cast<unsigned long long>(fingerprint_));
+  for (std::size_t i = 0; i < store_->segments().size(); ++i) {
+    const auto& segment = store_->segments()[i];
+    if (i != 0) body += ',';
+    body += util::format(
+        "{\"file\":\"%s\",\"entries\":%llu,\"min_time\":%lld,"
+        "\"max_time\":%lld,\"bytes\":%llu,\"rollup\":%s",
+        segment.file.c_str(),
+        static_cast<unsigned long long>(segment.footer.entry_count),
+        static_cast<long long>(segment.footer.min_time),
+        static_cast<long long>(segment.footer.max_time),
+        static_cast<unsigned long long>(segment.file_bytes),
+        rollups_[i] ? "true" : "false");
+    if (rollups_[i]) {
+      body += util::format(
+          ",\"distinct_peers\":%llu,\"distinct_cids\":%llu,\"buckets\":%zu",
+          static_cast<unsigned long long>(rollups_[i]->distinct_peers),
+          static_cast<unsigned long long>(rollups_[i]->distinct_cids),
+          rollups_[i]->buckets.size());
+    }
+    body += '}';
+  }
+  body += "]}";
+  HttpResponse response;
+  response.body = std::move(body);
+  return response;
+}
+
+}  // namespace ipfsmon::query

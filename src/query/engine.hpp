@@ -1,0 +1,155 @@
+// The query engine behind ipfsmon-queryd: routes HTTP requests over a
+// tracestore::TraceStore and answers them rollup-first.
+//
+//  * GET /healthz                     liveness + store summary
+//  * GET /metrics                     Prometheus text (obs registry; the
+//                                     server/cache counters are mirrored in,
+//                                     so sim, scan, and serving metrics share
+//                                     one endpoint)
+//  * GET /v1/stats                    request-type/flag counts in a range
+//  * GET /v1/popularity               top-K CIDs by RRP/URP + summary
+//  * GET /v1/peers/<base58>/wants     one peer's want history (Bloom-pruned)
+//  * GET /v1/segments                 per-segment metadata incl. rollup
+//                                     distinct counts
+//
+// Serving strategy for /v1/stats: segments fully inside the requested range
+// are answered from their rollup sidecar totals; partially covered segments
+// sum their fully-covered minute buckets and decode entries only inside the
+// boundary buckets; segments without a (valid) sidecar fall back to a full
+// decode. The result is byte-identical to an entry-level scan — provenance
+// is reported in the X-Source response header, never in the body.
+//
+// Results of the /v1/* endpoints are cached in an LRU keyed by
+// (manifest fingerprint, canonical query), so reload() after the store
+// changed invalidates every cached answer implicitly.
+//
+// Thread-safety: handle() may be called from many server workers, but the
+// obs::MetricsRegistry is deliberately lock-free single-threaded code, so
+// the whole service serializes on one mutex. Queries over a finished store
+// are short; the daemon's concurrency lives in the socket layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "query/cache.hpp"
+#include "query/http.hpp"
+#include "query/server.hpp"
+#include "tracestore/rollup.hpp"
+#include "tracestore/scan.hpp"
+#include "tracestore/store.hpp"
+
+namespace ipfsmon::query {
+
+struct QueryOptions {
+  /// Store open options; `store.obs` is ignored — the service wires its
+  /// own obs context in so scans and serving share one registry.
+  tracestore::StoreOptions store;
+  /// Cached rendered responses (0 disables caching).
+  std::size_t cache_capacity = 128;
+  /// When false, /v1/stats always takes the entry-level scan path (the
+  /// property tests force this to compare against the rollup path).
+  bool use_rollups = true;
+  /// ScanExecutor threads; 0 = hardware concurrency.
+  std::size_t scan_threads = 0;
+};
+
+/// Request-type/flag counts over a time range — the /v1/stats payload.
+/// Mirrors trace::TraceStats minus the distinct-peer/CID counts, which
+/// cannot be combined across rollups exactly (they live in /v1/segments).
+struct RangeStats {
+  std::uint64_t total = 0;
+  std::uint64_t want_have = 0;
+  std::uint64_t want_block = 0;
+  std::uint64_t cancels = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t rebroadcasts = 0;
+  std::uint64_t clean = 0;
+
+  bool operator==(const RangeStats&) const = default;
+};
+
+/// How an answer was produced (the X-Source header).
+enum class StatsSource { kRollup, kMixed, kScan };
+std::string_view to_string(StatsSource source);
+
+class QueryService {
+ public:
+  /// Opens the store in `dir` and loads every rollup sidecar. Returns
+  /// nullptr when the store itself is unusable.
+  static std::unique_ptr<QueryService> open(const std::string& dir,
+                                            QueryOptions options = {},
+                                            std::string* error = nullptr);
+
+  /// Routes one request; safe to call from concurrent server workers.
+  HttpResponse handle(const HttpRequest& request);
+
+  /// Re-opens the store (picks up new/pruned segments). The manifest
+  /// fingerprint changes with the segment set, invalidating cached results.
+  bool reload(std::string* error = nullptr);
+
+  /// Rollup-first range stats; `source` reports the serving path taken.
+  RangeStats stats_between(util::SimTime min_t, util::SimTime max_t,
+                           StatsSource* source = nullptr);
+
+  /// Ground truth: the same range answered by a full entry-level scan.
+  RangeStats stats_by_scan(util::SimTime min_t, util::SimTime max_t);
+
+  /// Mirror `server`'s counters into the obs registry at /metrics render
+  /// time (optional; the daemon wires this after start()).
+  void attach_server(const HttpServer* server);
+
+  const tracestore::TraceStore& store() const { return *store_; }
+  obs::Obs& obs() { return obs_; }
+  LruCache& cache() { return cache_; }
+  /// FNV-1a over the manifest's segment identities (file, count, range,
+  /// checksum) — the cache-key prefix.
+  std::uint64_t fingerprint() const { return fingerprint_; }
+  /// Segments whose rollup sidecar loaded and validated.
+  std::size_t rollups_loaded() const;
+
+ private:
+  QueryService(QueryOptions options);
+
+  bool open_store(const std::string& dir, std::string* error);
+  std::size_t rollups_loaded_locked() const;
+  RangeStats stats_between_locked(util::SimTime min_t, util::SimTime max_t,
+                                  StatsSource* source);
+  RangeStats stats_by_scan_locked(util::SimTime min_t, util::SimTime max_t);
+
+  HttpResponse route(const HttpRequest& request);
+  HttpResponse handle_healthz();
+  HttpResponse handle_metrics();
+  HttpResponse handle_stats(const HttpRequest& request);
+  HttpResponse handle_popularity(const HttpRequest& request);
+  HttpResponse handle_peer_wants(const HttpRequest& request,
+                                 const std::string& peer_text);
+  HttpResponse handle_segments();
+
+  /// Serves from cache or renders via `render` and caches the result.
+  HttpResponse cached(const HttpRequest& request,
+                      const std::function<CachedResponse()>& render);
+
+  QueryOptions options_;
+  obs::Obs obs_;
+  mutable std::mutex mu_;  // guards store_, rollups_, obs_, mirror state
+  std::string dir_;
+  std::optional<tracestore::TraceStore> store_;
+  std::vector<std::optional<tracestore::SegmentRollup>> rollups_;
+  tracestore::ScanExecutor executor_;
+  LruCache cache_;
+  std::uint64_t fingerprint_ = 0;
+
+  const HttpServer* server_ = nullptr;  // counters mirrored at /metrics
+  ServerCounters mirrored_;             // last values pushed into obs_
+  std::uint64_t mirrored_cache_hits_ = 0;
+  std::uint64_t mirrored_cache_misses_ = 0;
+};
+
+}  // namespace ipfsmon::query

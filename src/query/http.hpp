@@ -1,0 +1,78 @@
+// Minimal HTTP/1.1 message handling for the query daemon: a request parser
+// with hard size limits (the server never buffers an unbounded request), a
+// response serializer, and a response parser for the loopback client the
+// tests and benches use. No external dependencies — plain strings over
+// POSIX sockets (see server.hpp / client.hpp).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ipfsmon::query {
+
+/// Buffering limits enforced while parsing a request. Oversized input is
+/// rejected deterministically instead of growing the connection buffer.
+struct HttpLimits {
+  std::size_t max_request_line = 4096;
+  std::size_t max_header_bytes = 8192;  // all header lines together
+  std::size_t max_body_bytes = 64 * 1024;
+};
+
+struct HttpRequest {
+  std::string method;
+  std::string target;  // raw request target ("/v1/stats?min_t=0")
+  std::string path;    // decoded path without the query string
+  std::string version;  // "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;  // names lowercased
+  std::map<std::string, std::string> params;  // decoded query parameters
+  std::string body;
+
+  /// First header value by lowercase name; nullptr when absent.
+  const std::string* header(std::string_view name) const;
+  /// HTTP/1.1 defaults to keep-alive; "Connection: close" (or 1.0) opts out.
+  bool keep_alive() const;
+};
+
+enum class ParseStatus {
+  kNeedMore,     // incomplete — read more bytes and retry
+  kDone,         // one full request parsed; `consumed` bytes used
+  kBadRequest,   // malformed request line / headers / body framing
+  kTooLarge,     // a HttpLimits cap was exceeded
+  kUnsupported,  // not an HTTP/1.x request we can answer
+};
+
+/// Attempts to parse one request from the front of `buffer`. On kDone,
+/// `*consumed` is the byte count of the request (the caller erases it and
+/// may find a pipelined successor behind it). kNeedMore never consumes.
+ParseStatus parse_request(std::string_view buffer, const HttpLimits& limits,
+                          HttpRequest* out, std::size_t* consumed);
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::vector<std::pair<std::string, std::string>> headers;  // extra headers
+  std::string body;
+};
+
+std::string_view status_reason(int status);
+
+/// Serializes status line + headers + body; Content-Length always present,
+/// Connection echoes `keep_alive`.
+std::string serialize_response(const HttpResponse& response, bool keep_alive);
+
+/// Convenience JSON error body ({"error":"..."}).
+HttpResponse error_response(int status, std::string_view message);
+
+/// Parses a complete response (as read until EOF by the client); nullopt on
+/// malformed input.
+std::optional<HttpResponse> parse_response(std::string_view data);
+
+/// Percent-decodes %XX sequences (and '+' as space in query strings).
+std::string url_decode(std::string_view text, bool plus_as_space = false);
+
+}  // namespace ipfsmon::query

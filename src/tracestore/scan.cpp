@@ -12,14 +12,8 @@ namespace ipfsmon::tracestore {
 bool ScanQuery::matches(const trace::TraceEntry& entry) const {
   if (min_time && entry.timestamp < *min_time) return false;
   if (max_time && entry.timestamp > *max_time) return false;
-  if (!peers.empty() &&
-      std::find(peers.begin(), peers.end(), entry.peer) == peers.end()) {
-    return false;
-  }
-  if (!cids.empty() &&
-      std::find(cids.begin(), cids.end(), entry.cid) == cids.end()) {
-    return false;
-  }
+  if (!peers.empty() && peers.count(entry.peer) == 0) return false;
+  if (!cids.empty() && cids.count(entry.cid) == 0) return false;
   return true;
 }
 

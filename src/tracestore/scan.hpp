@@ -19,9 +19,10 @@ struct ScanQuery {
   /// Inclusive time bounds; unset = unbounded.
   std::optional<util::SimTime> min_time;
   std::optional<util::SimTime> max_time;
-  /// Entry must match one of these peers / CIDs; empty = any.
-  std::vector<crypto::PeerId> peers;
-  std::vector<cid::Cid> cids;
+  /// Entry must match one of these peers / CIDs; empty = any. Hashed sets
+  /// so membership stays O(1) even for large watch lists.
+  std::unordered_set<crypto::PeerId> peers;
+  std::unordered_set<cid::Cid> cids;
 
   bool matches(const trace::TraceEntry& entry) const;
 };

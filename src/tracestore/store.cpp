@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "tracestore/rollup.hpp"
 #include "util/strings.hpp"
 
 namespace fs = std::filesystem;
@@ -89,7 +90,7 @@ std::unique_ptr<SegmentWriter> SegmentWriter::create(const std::string& dir,
   for (const auto& entry : fs::directory_iterator(dir, ec)) {
     const std::string name = entry.path().filename().string();
     if (name == kManifestName || name.ends_with(".seg") ||
-        name.ends_with(".tmp")) {
+        name.ends_with(".rollup") || name.ends_with(".tmp")) {
       fs::remove(entry.path(), ec);
     }
   }
@@ -131,6 +132,18 @@ void SegmentWriter::flush_open_segment() {
       std::error_code ec;
       const auto bytes = fs::file_size(path, ec);
       if (!ec) flush_bytes_->observe(static_cast<double>(bytes));
+    }
+    if (options_.write_rollups) {
+      const SegmentRollup rollup = build_rollup(open_, options_.rollup_bucket);
+      std::string rollup_error;
+      if (!write_rollup_file(rollup_path_for(path), rollup, &rollup_error)) {
+        obs_warn(options_.obs, "rollup write failed: " + rollup_error);
+      } else if (options_.obs != nullptr) {
+        options_.obs->metrics
+            .counter("ipfsmon_tracestore_rollups_written_total",
+                     "Rollup sidecars written beside flushed segments")
+            .inc();
+      }
     }
   }
   open_ = trace::Trace{};
@@ -234,6 +247,7 @@ std::size_t TraceStore::prune_before(util::SimTime cutoff) {
     if (s.footer.max_time < cutoff) {
       std::error_code ec;
       fs::remove(fs::path(dir_) / s.file, ec);
+      fs::remove(rollup_path_for((fs::path(dir_) / s.file).string()), ec);
       ++removed;
     } else {
       kept.push_back(std::move(s));

@@ -1,0 +1,781 @@
+// Query service (src/query): HTTP parsing incl. table-driven malformed
+// requests, the embedded server's limits and graceful shutdown, per-segment
+// rollups, the rollup-first /v1/stats path (property-tested byte-identical
+// to full scans), result caching with reload invalidation, the Prometheus
+// endpoint, end-to-end agreement with the in-memory batch analyses, and
+// trace_report's missing-vs-corrupt exit codes.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "analysis/popularity.hpp"
+#include "query/cache.hpp"
+#include "query/client.hpp"
+#include "query/engine.hpp"
+#include "query/http.hpp"
+#include "query/server.hpp"
+#include "tracestore/rollup.hpp"
+#include "tracestore/store.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace ipfsmon::query {
+namespace {
+
+using util::kMinute;
+using util::kSecond;
+
+crypto::PeerId peer_n(int n) {
+  crypto::PeerId::Digest digest{};
+  digest[0] = static_cast<std::uint8_t>(n);
+  digest[1] = static_cast<std::uint8_t>(n >> 8);
+  digest[31] = 0x7c;
+  return crypto::PeerId(digest);
+}
+
+cid::Cid cid_n(int n) {
+  return cid::Cid::of_data(cid::Multicodec::Raw,
+                           util::bytes_of("query cid " + std::to_string(n)));
+}
+
+/// A time-sorted random trace with flags, types, peers and CIDs varied —
+/// the shape preprocessing hands to the store.
+trace::Trace make_trace(std::size_t n, std::uint64_t seed) {
+  util::RngStream rng(seed, "query-test");
+  trace::Trace t;
+  util::SimTime ts = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ts += rng.uniform_index(25 * kSecond);
+    trace::TraceEntry e;
+    e.timestamp = ts;
+    const int peer = static_cast<int>(rng.uniform_index(20));
+    e.peer = peer_n(peer);
+    e.address =
+        net::Address{0x0a000001u + static_cast<std::uint32_t>(peer), 4001};
+    e.cid = cid_n(static_cast<int>(rng.uniform_index(30)));
+    e.monitor = static_cast<trace::MonitorId>(rng.uniform_index(3));
+    const auto type = rng.uniform_index(4);
+    e.type = type == 0   ? bitswap::WantType::Cancel
+             : type == 1 ? bitswap::WantType::WantBlock
+                         : bitswap::WantType::WantHave;
+    if (rng.uniform_index(4) == 0) e.flags |= trace::kRebroadcast;
+    if (rng.uniform_index(6) == 0) e.flags |= trace::kInterMonitorDuplicate;
+    t.append(std::move(e));
+  }
+  return t;
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/query_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Writes `t` into a store at `dir`; small segments force several files.
+void build_store(const std::string& dir, const trace::Trace& t,
+                 tracestore::StoreOptions options = {}) {
+  if (options.max_entries_per_segment == (1u << 18)) {
+    options.max_entries_per_segment = 256;
+  }
+  auto writer = tracestore::SegmentWriter::create(dir, options);
+  ASSERT_NE(writer, nullptr);
+  for (const auto& e : t.entries()) writer->append(e);
+  ASSERT_TRUE(writer->finalize());
+}
+
+RangeStats batch_stats(const trace::Trace& t, util::SimTime min_t,
+                       util::SimTime max_t) {
+  RangeStats out;
+  for (const auto& e : t.entries()) {
+    if (e.timestamp < min_t || e.timestamp > max_t) continue;
+    ++out.total;
+    switch (e.type) {
+      case bitswap::WantType::WantHave: ++out.want_have; break;
+      case bitswap::WantType::WantBlock: ++out.want_block; break;
+      case bitswap::WantType::Cancel: ++out.cancels; break;
+    }
+    if (e.is_duplicate()) ++out.duplicates;
+    if (e.is_rebroadcast()) ++out.rebroadcasts;
+    if (e.is_clean()) ++out.clean;
+  }
+  return out;
+}
+
+/// A started server around a service, torn down with the fixture.
+struct Daemon {
+  explicit Daemon(QueryService& service, ServerOptions options = {}) {
+    options.worker_threads = 4;
+    server = std::make_unique<HttpServer>(
+        options,
+        [&service](const HttpRequest& request) {
+          return service.handle(request);
+        });
+    std::string error;
+    started = server->start(&error);
+    EXPECT_TRUE(started) << error;
+    if (started) service.attach_server(server.get());
+  }
+
+  std::optional<HttpResponse> get(const std::string& target) {
+    return http_get("127.0.0.1", server->port(), target);
+  }
+
+  std::unique_ptr<HttpServer> server;
+  bool started = false;
+};
+
+const std::string* find_header(const HttpResponse& response,
+                               const std::string& name) {
+  for (const auto& [key, value] : response.headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+// --- HTTP parsing ---------------------------------------------------------
+
+TEST(Http, ParsesRequestLineParamsAndBody) {
+  const std::string raw =
+      "GET /v1/stats?min_t=5&name=a%20b HTTP/1.1\r\n"
+      "Host: x\r\nContent-Length: 4\r\n\r\nbodyEXTRA";
+  HttpRequest request;
+  std::size_t consumed = 0;
+  ASSERT_EQ(parse_request(raw, HttpLimits{}, &request, &consumed),
+            ParseStatus::kDone);
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.path, "/v1/stats");
+  EXPECT_EQ(request.params.at("min_t"), "5");
+  EXPECT_EQ(request.params.at("name"), "a b");
+  EXPECT_EQ(request.body, "body");
+  EXPECT_EQ(consumed, raw.size() - 5);  // "EXTRA" stays buffered
+  EXPECT_TRUE(request.keep_alive());
+}
+
+TEST(Http, IncompleteRequestNeedsMore) {
+  HttpRequest request;
+  std::size_t consumed = 0;
+  EXPECT_EQ(parse_request("GET / HTTP/1.1\r\nHost:", HttpLimits{}, &request,
+                          &consumed),
+            ParseStatus::kNeedMore);
+  EXPECT_EQ(parse_request("GET / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc",
+                          HttpLimits{}, &request, &consumed),
+            ParseStatus::kNeedMore);
+}
+
+TEST(Http, MalformedRequestTable) {
+  struct Case {
+    const char* name;
+    std::string raw;
+    ParseStatus expected;
+  };
+  HttpLimits limits;
+  limits.max_request_line = 128;
+  limits.max_header_bytes = 256;
+  limits.max_body_bytes = 64;
+  const Case cases[] = {
+      {"lowercase method", "get / HTTP/1.1\r\n\r\n", ParseStatus::kBadRequest},
+      {"junk method", "GE?T / HTTP/1.1\r\n\r\n", ParseStatus::kBadRequest},
+      {"missing target", "GET  HTTP/1.1\r\n\r\n", ParseStatus::kBadRequest},
+      {"relative target", "GET stats HTTP/1.1\r\n\r\n",
+       ParseStatus::kBadRequest},
+      {"four fields", "GET / HTTP/1.1 x\r\n\r\n", ParseStatus::kBadRequest},
+      {"bad version", "GET / HTTP/2.0\r\n\r\n", ParseStatus::kUnsupported},
+      {"chunked body", "GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+       ParseStatus::kUnsupported},
+      {"oversized request line",
+       "GET /" + std::string(200, 'a') + " HTTP/1.1\r\n\r\n",
+       ParseStatus::kTooLarge},
+      {"oversized headers",
+       "GET / HTTP/1.1\r\nX-Big: " + std::string(300, 'b') + "\r\n\r\n",
+       ParseStatus::kTooLarge},
+      {"oversized body",
+       "GET / HTTP/1.1\r\nContent-Length: 100\r\n\r\n",
+       ParseStatus::kTooLarge},
+      {"bad content length", "GET / HTTP/1.1\r\nContent-Length: nan\r\n\r\n",
+       ParseStatus::kBadRequest},
+      {"header fold", "GET / HTTP/1.1\r\nA: b\r\n c\r\n\r\n",
+       ParseStatus::kBadRequest},
+      {"colonless header", "GET / HTTP/1.1\r\nOops\r\n\r\n",
+       ParseStatus::kBadRequest},
+  };
+  for (const auto& c : cases) {
+    HttpRequest request;
+    std::size_t consumed = 0;
+    EXPECT_EQ(parse_request(c.raw, limits, &request, &consumed), c.expected)
+        << c.name;
+  }
+}
+
+TEST(Http, PipelinedRequestsParseInOrder) {
+  std::string raw =
+      "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nConnection: close\r\n\r\n";
+  HttpRequest request;
+  std::size_t consumed = 0;
+  ASSERT_EQ(parse_request(raw, HttpLimits{}, &request, &consumed),
+            ParseStatus::kDone);
+  EXPECT_EQ(request.path, "/a");
+  raw.erase(0, consumed);
+  ASSERT_EQ(parse_request(raw, HttpLimits{}, &request, &consumed),
+            ParseStatus::kDone);
+  EXPECT_EQ(request.path, "/b");
+  EXPECT_FALSE(request.keep_alive());
+  EXPECT_EQ(consumed, raw.size());
+}
+
+TEST(Http, ResponseRoundTrip) {
+  HttpResponse response;
+  response.status = 200;
+  response.body = "{\"x\":1}";
+  response.headers.emplace_back("X-Source", "rollup");
+  const auto parsed = parse_response(serialize_response(response, true));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->status, 200);
+  EXPECT_EQ(parsed->body, response.body);
+  ASSERT_NE(find_header(*parsed, "x-source"), nullptr);
+  EXPECT_EQ(*find_header(*parsed, "x-source"), "rollup");
+}
+
+// --- LRU cache ------------------------------------------------------------
+
+TEST(Cache, EvictsLeastRecentlyUsed) {
+  LruCache cache(2);
+  cache.put("a", {"A", "t", ""});
+  cache.put("b", {"B", "t", ""});
+  CachedResponse out;
+  ASSERT_TRUE(cache.get("a", &out));  // refresh a; b is now LRU
+  cache.put("c", {"C", "t", ""});
+  EXPECT_FALSE(cache.get("b", &out));
+  EXPECT_TRUE(cache.get("a", &out));
+  EXPECT_TRUE(cache.get("c", &out));
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+// --- Rollups --------------------------------------------------------------
+
+TEST(Rollup, RoundTripsThroughFile) {
+  const trace::Trace t = make_trace(500, 11);
+  const auto rollup = tracestore::build_rollup(t, kMinute);
+  EXPECT_EQ(rollup.entry_count, t.size());
+
+  const std::string path = fresh_dir("rollup_rt") + ".rollup";
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path());
+  ASSERT_TRUE(tracestore::write_rollup_file(path, rollup));
+  const auto loaded = tracestore::read_rollup_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->entry_count, rollup.entry_count);
+  EXPECT_EQ(loaded->bucket_width, rollup.bucket_width);
+  EXPECT_EQ(loaded->distinct_peers, rollup.distinct_peers);
+  EXPECT_EQ(loaded->distinct_cids, rollup.distinct_cids);
+  ASSERT_EQ(loaded->buckets.size(), rollup.buckets.size());
+  for (std::size_t i = 0; i < rollup.buckets.size(); ++i) {
+    EXPECT_EQ(loaded->buckets[i].start, rollup.buckets[i].start);
+    EXPECT_EQ(loaded->buckets[i].entries(), rollup.buckets[i].entries());
+    EXPECT_EQ(loaded->buckets[i].clean, rollup.buckets[i].clean);
+  }
+}
+
+TEST(Rollup, BucketTotalsMatchStatsAccumulator) {
+  const trace::Trace t = make_trace(800, 12);
+  const auto rollup = tracestore::build_rollup(t, kMinute);
+  trace::StatsAccumulator accumulator;
+  for (const auto& e : t.entries()) accumulator.add(e);
+  const trace::TraceStats stats = accumulator.stats();
+
+  std::uint64_t want_have = 0, want_block = 0, cancels = 0, duplicates = 0,
+                rebroadcasts = 0, clean = 0, total = 0;
+  for (const auto& b : rollup.buckets) {
+    total += b.entries();
+    want_have += b.want_have;
+    want_block += b.want_block;
+    cancels += b.cancels;
+    duplicates += b.duplicates;
+    rebroadcasts += b.rebroadcasts;
+    clean += b.clean;
+  }
+  EXPECT_EQ(total, stats.total);
+  EXPECT_EQ(want_have + want_block, stats.requests);
+  EXPECT_EQ(cancels, stats.cancels);
+  EXPECT_EQ(duplicates, stats.inter_monitor_duplicates);
+  EXPECT_EQ(rebroadcasts, stats.rebroadcasts);
+  EXPECT_EQ(clean, stats.clean);
+  EXPECT_EQ(rollup.distinct_peers, stats.unique_peers);
+  EXPECT_EQ(rollup.distinct_cids, stats.unique_cids);
+}
+
+TEST(Rollup, WriterEmitsSidecarsAndFallbackRebuildAgrees) {
+  const std::string dir = fresh_dir("sidecars");
+  build_store(dir, make_trace(1000, 13));
+  auto store = tracestore::TraceStore::open(dir);
+  ASSERT_TRUE(store.has_value());
+  ASSERT_GT(store->segments().size(), 1u);
+  for (std::size_t i = 0; i < store->segments().size(); ++i) {
+    const std::string sidecar =
+        tracestore::rollup_path_for(store->segment_path(i));
+    ASSERT_TRUE(std::filesystem::exists(sidecar)) << sidecar;
+    const auto loaded = tracestore::read_rollup_file(sidecar);
+    ASSERT_TRUE(loaded.has_value());
+    const auto rebuilt =
+        tracestore::rollup_from_segment(store->segment_path(i));
+    ASSERT_TRUE(rebuilt.has_value());
+    EXPECT_EQ(loaded->entry_count, rebuilt->entry_count);
+    ASSERT_EQ(loaded->buckets.size(), rebuilt->buckets.size());
+    for (std::size_t b = 0; b < loaded->buckets.size(); ++b) {
+      EXPECT_EQ(loaded->buckets[b].entries(), rebuilt->buckets[b].entries());
+    }
+  }
+}
+
+TEST(Rollup, CorruptSidecarIsRejected) {
+  const std::string dir = fresh_dir("corrupt_sidecar");
+  build_store(dir, make_trace(300, 14));
+  auto store = tracestore::TraceStore::open(dir);
+  ASSERT_TRUE(store.has_value());
+  const std::string sidecar =
+      tracestore::rollup_path_for(store->segment_path(0));
+  std::fstream f(sidecar, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(4);
+  f.put('\xff');
+  f.close();
+  EXPECT_FALSE(tracestore::read_rollup_file(sidecar).has_value());
+}
+
+TEST(Rollup, PruneRemovesSidecars) {
+  const std::string dir = fresh_dir("prune_sidecar");
+  build_store(dir, make_trace(1000, 15));
+  auto store = tracestore::TraceStore::open(dir);
+  ASSERT_TRUE(store.has_value());
+  ASSERT_GT(store->segments().size(), 2u);
+  const std::string first_sidecar =
+      tracestore::rollup_path_for(store->segment_path(0));
+  ASSERT_TRUE(std::filesystem::exists(first_sidecar));
+  const util::SimTime cutoff = store->segments()[1].footer.min_time;
+  ASSERT_GE(store->prune_before(cutoff), 1u);
+  EXPECT_FALSE(std::filesystem::exists(first_sidecar));
+}
+
+// --- Server ---------------------------------------------------------------
+
+TEST(Server, ServesRequestsAndCounts) {
+  HttpServer server({}, [](const HttpRequest& request) {
+    HttpResponse response;
+    response.body = "{\"path\":\"" + request.path + "\"}";
+    return response;
+  });
+  ASSERT_TRUE(server.start());
+  ASSERT_NE(server.port(), 0);
+  const auto response = http_get("127.0.0.1", server.port(), "/hello");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->body, "{\"path\":\"/hello\"}");
+  server.stop();
+  const ServerCounters counters = server.counters();
+  EXPECT_EQ(counters.connections_accepted, 1u);
+  EXPECT_EQ(counters.requests, 1u);
+  EXPECT_GT(counters.bytes_read, 0u);
+  EXPECT_GT(counters.bytes_written, 0u);
+}
+
+TEST(Server, MalformedRequestsOverTheWireTable) {
+  ServerOptions options;
+  options.limits.max_header_bytes = 512;
+  options.io_timeout_ms = 300;  // keeps the truncated-body case quick
+  HttpServer server(options, [](const HttpRequest&) {
+    return HttpResponse{};
+  });
+  ASSERT_TRUE(server.start());
+
+  struct Case {
+    const char* name;
+    std::string raw;
+    const char* expected_status;  // substring of the first response line
+  };
+  const Case cases[] = {
+      {"bad method", "ge!t / HTTP/1.1\r\n\r\n", " 400 "},
+      {"bad version", "GET / HTTP/9.9\r\n\r\n", " 501 "},
+      {"oversized header",
+       "GET / HTTP/1.1\r\nX-Big: " + std::string(600, 'x') + "\r\n\r\n",
+       " 431 "},
+      {"truncated body",
+       "GET / HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort", " 408 "},
+  };
+  for (const auto& c : cases) {
+    const auto raw = raw_exchange("127.0.0.1", server.port(), c.raw, 2000);
+    ASSERT_TRUE(raw.has_value()) << c.name;
+    EXPECT_NE(raw->find(c.expected_status), std::string::npos)
+        << c.name << " got: " << raw->substr(0, 64);
+  }
+
+  // Early client disconnect mid-request: server must just drop it.
+  const auto closed = raw_exchange("127.0.0.1", server.port(),
+                                   "GET / HTTP/1.1\r\nConte", 2000,
+                                   /*half_close=*/true);
+  ASSERT_TRUE(closed.has_value());
+  EXPECT_TRUE(closed->empty());
+
+  // Two pipelined requests on one connection get two responses.
+  const auto pipelined = raw_exchange(
+      "127.0.0.1", server.port(),
+      "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nConnection: close\r\n\r\n",
+      2000);
+  ASSERT_TRUE(pipelined.has_value());
+  std::size_t responses = 0;
+  for (std::size_t pos = pipelined->find("HTTP/1.1 200");
+       pos != std::string::npos;
+       pos = pipelined->find("HTTP/1.1 200", pos + 1)) {
+    ++responses;
+  }
+  EXPECT_EQ(responses, 2u);
+
+  server.stop();
+  EXPECT_GE(server.counters().parse_errors, 3u);
+  EXPECT_GE(server.counters().timeouts, 1u);
+}
+
+TEST(Server, RejectsWith503WhenAcceptQueueFull) {
+  ServerOptions options;
+  options.accept_queue_limit = 0;  // everything is "over capacity"
+  HttpServer server(options, [](const HttpRequest&) {
+    return HttpResponse{};
+  });
+  ASSERT_TRUE(server.start());
+  const auto response = http_get("127.0.0.1", server.port(), "/");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 503);
+  server.stop();
+  EXPECT_GE(server.counters().connections_rejected, 1u);
+}
+
+TEST(Server, ConcurrentClientsAllSucceed) {
+  std::atomic<int> handled{0};
+  HttpServer server({}, [&handled](const HttpRequest&) {
+    handled.fetch_add(1);
+    HttpResponse response;
+    response.body = "{}";
+    return response;
+  });
+  ASSERT_TRUE(server.start());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 16;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    clients.emplace_back([&server, &ok] {
+      for (int j = 0; j < kPerThread; ++j) {
+        const auto response = http_get("127.0.0.1", server.port(), "/x");
+        if (response && response->status == 200) ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  server.stop();
+  EXPECT_EQ(ok.load(), kThreads * kPerThread);
+  EXPECT_EQ(handled.load(), kThreads * kPerThread);
+}
+
+// --- Query service --------------------------------------------------------
+
+TEST(Engine, StatsRollupPathIsByteIdenticalToScans) {
+  for (const std::uint64_t seed : {21u, 22u, 23u}) {
+    const std::string dir =
+        fresh_dir("prop_" + std::to_string(seed));
+    const trace::Trace t = make_trace(1200, seed);
+    build_store(dir, t);
+    auto service = QueryService::open(dir);
+    ASSERT_NE(service, nullptr);
+    ASSERT_GT(service->rollups_loaded(), 1u);
+
+    const util::SimTime lo = t.entries().front().timestamp;
+    const util::SimTime hi = t.entries().back().timestamp;
+    util::RngStream rng(seed, "query-prop");
+    for (int round = 0; round < 20; ++round) {
+      // Random ranges, deliberately not minute-aligned.
+      util::SimTime a =
+          lo + static_cast<util::SimTime>(rng.uniform_index(
+                   static_cast<std::uint64_t>(hi - lo + 1)));
+      util::SimTime b =
+          lo + static_cast<util::SimTime>(rng.uniform_index(
+                   static_cast<std::uint64_t>(hi - lo + 1)));
+      if (a > b) std::swap(a, b);
+      StatsSource source = StatsSource::kScan;
+      const RangeStats rollup_stats = service->stats_between(a, b, &source);
+      const RangeStats scan_stats = service->stats_by_scan(a, b);
+      EXPECT_EQ(rollup_stats, scan_stats)
+          << "seed " << seed << " round " << round << " [" << a << ", " << b
+          << "] source " << to_string(source);
+      EXPECT_EQ(rollup_stats, batch_stats(t, a, b));
+    }
+    // Whole-range query must come purely from rollups.
+    StatsSource source = StatsSource::kScan;
+    service->stats_between(lo, hi, &source);
+    EXPECT_EQ(source, StatsSource::kRollup);
+  }
+}
+
+TEST(Engine, MissingSidecarsFallBackToDecode) {
+  const std::string dir = fresh_dir("no_sidecars");
+  const trace::Trace t = make_trace(700, 31);
+  build_store(dir, t);
+  for (const auto& file : std::filesystem::directory_iterator(dir)) {
+    if (file.path().string().ends_with(".rollup")) {
+      std::filesystem::remove(file.path());
+    }
+  }
+  auto service = QueryService::open(dir);
+  ASSERT_NE(service, nullptr);
+  EXPECT_EQ(service->rollups_loaded(), 0u);
+  const util::SimTime lo = t.entries().front().timestamp;
+  const util::SimTime hi = t.entries().back().timestamp;
+  StatsSource source = StatsSource::kRollup;
+  EXPECT_EQ(service->stats_between(lo, hi, &source), batch_stats(t, lo, hi));
+  EXPECT_EQ(source, StatsSource::kScan);
+}
+
+TEST(Engine, HttpStatsMatchesBatchAndRollupForcedScanBytesAgree) {
+  const std::string dir = fresh_dir("http_stats");
+  const trace::Trace t = make_trace(900, 41);
+  build_store(dir, t);
+  auto service = QueryService::open(dir);
+  ASSERT_NE(service, nullptr);
+  Daemon daemon(*service);
+  ASSERT_TRUE(daemon.started);
+
+  const util::SimTime lo = t.entries().front().timestamp;
+  const util::SimTime hi = t.entries().back().timestamp;
+  const util::SimTime mid_a = lo + (hi - lo) / 3 + 12345;
+  const util::SimTime mid_b = lo + 2 * (hi - lo) / 3 + 6789;
+  const std::string range = util::format(
+      "?min_t=%lld&max_t=%lld", static_cast<long long>(mid_a),
+      static_cast<long long>(mid_b));
+
+  const auto rollup_served = daemon.get("/v1/stats" + range);
+  const auto scan_served = daemon.get("/v1/stats" + range + "&force=scan");
+  ASSERT_TRUE(rollup_served.has_value() && scan_served.has_value());
+  EXPECT_EQ(rollup_served->status, 200);
+  EXPECT_EQ(rollup_served->body, scan_served->body);  // byte-identical
+  ASSERT_NE(find_header(*scan_served, "x-source"), nullptr);
+  EXPECT_EQ(*find_header(*scan_served, "x-source"), "scan");
+
+  // The body itself matches the in-memory batch computation, field by field.
+  const RangeStats expected = batch_stats(t, mid_a, mid_b);
+  const std::string expected_body = util::format(
+      "{\"min_time\":%lld,\"max_time\":%lld,\"total\":%llu,"
+      "\"requests\":%llu,\"want_have\":%llu,\"want_block\":%llu,"
+      "\"cancels\":%llu,\"duplicates\":%llu,\"rebroadcasts\":%llu,"
+      "\"clean\":%llu}",
+      static_cast<long long>(mid_a), static_cast<long long>(mid_b),
+      static_cast<unsigned long long>(expected.total),
+      static_cast<unsigned long long>(expected.want_have +
+                                      expected.want_block),
+      static_cast<unsigned long long>(expected.want_have),
+      static_cast<unsigned long long>(expected.want_block),
+      static_cast<unsigned long long>(expected.cancels),
+      static_cast<unsigned long long>(expected.duplicates),
+      static_cast<unsigned long long>(expected.rebroadcasts),
+      static_cast<unsigned long long>(expected.clean));
+  EXPECT_EQ(rollup_served->body, expected_body);
+
+  const auto bad = daemon.get("/v1/stats?min_t=nan");
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_EQ(bad->status, 400);
+}
+
+TEST(Engine, PopularityAndPeerWantsMatchBatch) {
+  const std::string dir = fresh_dir("pop_wants");
+  const trace::Trace t = make_trace(900, 51);
+  build_store(dir, t);
+  auto service = QueryService::open(dir);
+  ASSERT_NE(service, nullptr);
+  Daemon daemon(*service);
+  ASSERT_TRUE(daemon.started);
+
+  const auto popularity = daemon.get("/v1/popularity?k=3&clean_only=1");
+  ASSERT_TRUE(popularity.has_value());
+  EXPECT_EQ(popularity->status, 200);
+  const analysis::PopularityScores scores =
+      analysis::compute_popularity(t, /*clean_only=*/true);
+  EXPECT_NE(
+      popularity->body.find(util::format("\"cids\":%zu", scores.rrp.size())),
+      std::string::npos)
+      << popularity->body;
+  const auto top = scores.top_rrp(3);
+  ASSERT_FALSE(top.empty());
+  EXPECT_NE(popularity->body.find(util::format(
+                "{\"cid\":\"%s\",\"count\":%llu}",
+                top[0].first.to_string().c_str(),
+                static_cast<unsigned long long>(top[0].second))),
+            std::string::npos)
+      << popularity->body;
+
+  // Per-peer wants: totals agree with a direct filter of the trace.
+  const crypto::PeerId peer = t.entries().front().peer;
+  std::uint64_t expected_wants = 0;
+  for (const auto& e : t.entries()) {
+    if (e.peer == peer) ++expected_wants;
+  }
+  const auto wants =
+      daemon.get("/v1/peers/" + peer.to_base58() + "/wants?limit=10");
+  ASSERT_TRUE(wants.has_value());
+  EXPECT_EQ(wants->status, 200);
+  EXPECT_NE(wants->body.find(util::format(
+                "\"total\":%llu",
+                static_cast<unsigned long long>(expected_wants))),
+            std::string::npos)
+      << wants->body;
+  EXPECT_NE(wants->body.find("\"peer\":\"" + peer.to_base58() + "\""),
+            std::string::npos);
+
+  const auto bad_peer = daemon.get("/v1/peers/notapeer/wants");
+  ASSERT_TRUE(bad_peer.has_value());
+  EXPECT_EQ(bad_peer->status, 400);
+}
+
+TEST(Engine, CacheHitsAndReloadInvalidates) {
+  const std::string dir = fresh_dir("cache");
+  const trace::Trace t = make_trace(400, 61);
+  build_store(dir, t);
+  auto service = QueryService::open(dir);
+  ASSERT_NE(service, nullptr);
+  Daemon daemon(*service);
+  ASSERT_TRUE(daemon.started);
+
+  const std::string target = "/v1/stats?min_t=0";
+  const auto first = daemon.get(target);
+  const auto second = daemon.get(target);
+  ASSERT_TRUE(first.has_value() && second.has_value());
+  ASSERT_NE(find_header(*first, "x-cache"), nullptr);
+  EXPECT_EQ(*find_header(*first, "x-cache"), "miss");
+  EXPECT_EQ(*find_header(*second, "x-cache"), "hit");
+  EXPECT_EQ(first->body, second->body);
+  EXPECT_GE(service->cache().hits(), 1u);
+
+  // Rewriting the store changes the manifest fingerprint; after reload the
+  // same query must be recomputed (and may answer differently).
+  const std::uint64_t fingerprint_before = service->fingerprint();
+  build_store(dir, make_trace(500, 62));
+  ASSERT_TRUE(service->reload());
+  EXPECT_NE(service->fingerprint(), fingerprint_before);
+  const auto after = daemon.get(target);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(*find_header(*after, "x-cache"), "miss");
+}
+
+TEST(Engine, MetricsExposesServerAndScanCounters) {
+  const std::string dir = fresh_dir("metrics");
+  build_store(dir, make_trace(400, 71));
+  auto service = QueryService::open(dir);
+  ASSERT_NE(service, nullptr);
+  Daemon daemon(*service);
+  ASSERT_TRUE(daemon.started);
+
+  ASSERT_TRUE(daemon.get("/healthz").has_value());
+  ASSERT_TRUE(daemon.get("/v1/stats?force=scan").has_value());
+  const auto metrics = daemon.get("/metrics");
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_EQ(metrics->status, 200);
+  EXPECT_NE(metrics->content_type.find("text/plain"), std::string::npos);
+
+  // Prometheus text exposition: every non-comment line is "name[{labels}]
+  // value" with a parseable float value.
+  std::size_t samples = 0;
+  for (const auto& line : util::split(metrics->body, '\n')) {
+    if (line.empty() || line.front() == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    errno = 0;
+    char* end = nullptr;
+    std::strtod(line.c_str() + space + 1, &end);
+    EXPECT_TRUE(errno == 0 && end != line.c_str() + space + 1) << line;
+    ++samples;
+  }
+  EXPECT_GT(samples, 10u);
+  EXPECT_NE(metrics->body.find("ipfsmon_query_server_requests_total"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("ipfsmon_query_server_connections_total"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("ipfsmon_tracestore_segments_scanned_total"),
+            std::string::npos);
+
+  // Counters survive into the next render monotonically.
+  const auto again = daemon.get("/metrics");
+  ASSERT_TRUE(again.has_value());
+  EXPECT_NE(again->body.find("ipfsmon_query_cache_misses_total"),
+            std::string::npos);
+}
+
+TEST(Engine, ConcurrentMixedQueriesAreConsistent) {
+  const std::string dir = fresh_dir("concurrent");
+  const trace::Trace t = make_trace(600, 81);
+  build_store(dir, t);
+  auto service = QueryService::open(dir);
+  ASSERT_NE(service, nullptr);
+  Daemon daemon(*service);
+  ASSERT_TRUE(daemon.started);
+
+  const util::SimTime lo = t.entries().front().timestamp;
+  const util::SimTime hi = t.entries().back().timestamp;
+  const std::string stats_target = util::format(
+      "?min_t=%lld&max_t=%lld", static_cast<long long>(lo + 777),
+      static_cast<long long>(hi - 777));
+  const std::string expected =
+      daemon.get("/v1/stats" + stats_target)->body;
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 6; ++i) {
+    clients.emplace_back([&, i] {
+      for (int j = 0; j < 10; ++j) {
+        const std::string target =
+            (i + j) % 3 == 0 ? "/healthz"
+            : (i + j) % 3 == 1
+                ? "/v1/stats" + stats_target
+                : "/v1/stats" + stats_target + "&force=scan";
+        const auto response =
+            http_get("127.0.0.1", daemon.server->port(), target);
+        if (!response || response->status != 200) {
+          failures.fetch_add(1);
+          continue;
+        }
+        if (target != "/healthz" && response->body != expected) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// --- trace_report exit codes ----------------------------------------------
+
+#ifdef IPFSMON_TRACE_REPORT_BIN
+int run_trace_report(const std::string& argument) {
+  const std::string command = std::string(IPFSMON_TRACE_REPORT_BIN) + " '" +
+                              argument + "' >/dev/null 2>&1";
+  const int status = std::system(command.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(TraceReport, ExitsTwoForMissingInput) {
+  EXPECT_EQ(run_trace_report(::testing::TempDir() + "/query_no_such_file.bin"),
+            2);
+}
+
+TEST(TraceReport, ExitsThreeForCorruptInput) {
+  const std::string path = ::testing::TempDir() + "/query_corrupt_trace.bin";
+  std::ofstream out(path, std::ios::binary);
+  out << "this is not any trace format at all, not even close";
+  out.close();
+  EXPECT_EQ(run_trace_report(path), 3);
+}
+#endif  // IPFSMON_TRACE_REPORT_BIN
+
+}  // namespace
+}  // namespace ipfsmon::query
