@@ -107,7 +107,7 @@ BENCHMARK(BM_PopularityScoring)->Arg(1000)->Arg(100000);
 
 void BM_CommitteeEstimator(benchmark::State& state) {
   for (auto _ : state) {
-    benchmark::DoNotOptimize(analysis::estimate_committee(9628, 2, 7465.0));
+    benchmark::DoNotOptimize(analysis::estimate_committee(std::size_t{9628}, 2, 7465.0));
   }
 }
 BENCHMARK(BM_CommitteeEstimator);

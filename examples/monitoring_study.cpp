@@ -4,10 +4,16 @@
 // popularity, and per-country activity. At exit the obs registry is dumped
 // in Prometheus text format and the collector ring as a JSONL sidecar.
 //
-// Usage: monitoring_study [nodes] [hours] [seed]
+// With a spill directory, monitors record through the out-of-core trace
+// store instead of RAM; the example prints where the stores land and fails
+// (exit 1) when the directory cannot be written, rather than silently
+// analyzing an empty trace.
+//
+// Usage: monitoring_study [nodes] [hours] [seed] [spill_dir]
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "analysis/aggregate.hpp"
 #include "analysis/estimators.hpp"
@@ -15,6 +21,7 @@
 #include "obs/exporters.hpp"
 #include "scenario/study.hpp"
 #include "trace/preprocess.hpp"
+#include "tracestore/merge.hpp"
 
 using namespace ipfsmon;
 
@@ -24,6 +31,8 @@ int main(int argc, char** argv) {
                                           : 400;
   const double hours = argc > 2 ? std::strtod(argv[2], nullptr) : 24.0;
   config.seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 42;
+  const std::string spill_dir = argc > 4 ? argv[4] : "";
+  config.monitor_spill_dir = spill_dir;
   config.duration = static_cast<util::SimDuration>(
       hours * static_cast<double>(util::kHour));
   config.warmup = 6 * util::kHour;
@@ -36,6 +45,43 @@ int main(int argc, char** argv) {
 
   scenario::MonitoringStudy study(config);
   study.run();
+
+  // --- Spill stores ---------------------------------------------------------
+  std::vector<tracestore::TraceStore> stores;
+  if (!spill_dir.empty()) {
+    // A monitor that could not write its directory fell back to recording
+    // in RAM (with an error event) — that is a broken spill run, not a
+    // quietly-degraded one. Fail loudly.
+    bool spill_ok = true;
+    for (const auto* m : study.monitors()) {
+      if (!m->spilling()) {
+        std::fprintf(stderr,
+                     "error: monitor %u could not open its spill store under "
+                     "%s (unwritable directory?)\n",
+                     static_cast<unsigned>(m->monitor_id()), spill_dir.c_str());
+        spill_ok = false;
+      }
+    }
+    if (spill_ok && !study.finalize_monitor_spill()) {
+      std::fprintf(stderr, "error: finalizing spill stores under %s failed\n",
+                   spill_dir.c_str());
+      spill_ok = false;
+    }
+    if (!spill_ok) return 1;
+    for (const auto& dir : study.monitor_store_dirs()) {
+      auto store = tracestore::TraceStore::open(dir);
+      if (!store.has_value()) {
+        std::fprintf(stderr, "error: cannot reopen spill store %s\n",
+                     dir.c_str());
+        return 1;
+      }
+      std::printf("spill store: %s (%llu entries, %zu segments)\n",
+                  dir.c_str(),
+                  static_cast<unsigned long long>(store->total_entries()),
+                  store->segments().size());
+      stores.push_back(std::move(*store));
+    }
+  }
 
   // --- Monitor view ---------------------------------------------------------
   const auto monitors = study.monitors();
@@ -87,7 +133,17 @@ int main(int argc, char** argv) {
   }
 
   // --- Trace preprocessing --------------------------------------------------
-  trace::Trace unified = study.unified_trace();
+  trace::Trace unified;
+  if (spill_dir.empty()) {
+    unified = study.unified_trace();
+  } else {
+    // Out-of-core path: k-way merge + flagging straight off the stores,
+    // identical to trace::unify (see DESIGN.md Sec. 7).
+    std::vector<const tracestore::TraceStore*> inputs;
+    for (const auto& s : stores) inputs.push_back(&s);
+    tracestore::unify_stores(
+        inputs, [&](const trace::TraceEntry& e) { unified.append(e); });
+  }
   const trace::TraceStats stats = trace::compute_stats(unified);
   std::printf("\nunified trace: %zu entries (%zu requests), "
               "%zu re-broadcasts (%.1f%% of requests), %zu inter-monitor dups\n",

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 verification: configure, build, run the full test suite, then
-# rebuild the obs + tracestore + query suites under AddressSanitizer
-# (`ctest -L 'obs|tracestore|query'`) and the concurrent query + tracestore
-# suites under ThreadSanitizer (`ctest -L 'query|tracestore'`).
+# Tier-1 verification: doc-drift gate (scripts/check_docs.sh), configure,
+# build, run the full test suite, then rebuild the obs + tracestore +
+# query + churn suites under AddressSanitizer
+# (`ctest -L 'obs|tracestore|query|churn'`) and the concurrent query +
+# tracestore suites plus churn under ThreadSanitizer
+# (`ctest -L 'query|tracestore|churn'`).
 #
 # Usage: scripts/check.sh [--no-asan] [--no-tsan]
 set -euo pipefail
@@ -21,25 +23,28 @@ done
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
+echo "== docs: check_docs.sh =="
+scripts/check_docs.sh
+
 echo "== tier-1: configure + build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure
 
 if [[ "$RUN_ASAN" == "1" ]]; then
-  echo "== asan: obs + tracestore + query suites under -DIPFSMON_SANITIZE=address =="
+  echo "== asan: obs + tracestore + query + churn suites under -DIPFSMON_SANITIZE=address =="
   cmake -B build-asan -S . -DIPFSMON_SANITIZE=address >/dev/null
   cmake --build build-asan -j "$JOBS" --target obs_test tracestore_test \
-    query_test trace_report
-  ctest --test-dir build-asan -L 'obs|tracestore|query' --output-on-failure
+    query_test churn_test trace_report
+  ctest --test-dir build-asan -L 'obs|tracestore|query|churn' --output-on-failure
 fi
 
 if [[ "$RUN_TSAN" == "1" ]]; then
-  echo "== tsan: query + tracestore suites under -DIPFSMON_SANITIZE=thread =="
+  echo "== tsan: query + tracestore + churn suites under -DIPFSMON_SANITIZE=thread =="
   cmake -B build-tsan -S . -DIPFSMON_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS" --target query_test tracestore_test \
-    trace_report
-  ctest --test-dir build-tsan -L 'query|tracestore' --output-on-failure
+    churn_test trace_report
+  ctest --test-dir build-tsan -L 'query|tracestore|churn' --output-on-failure
 fi
 
 echo "== all checks passed =="

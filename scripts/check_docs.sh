@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Doc-drift gate: fails when the documentation stops matching the tree.
+#
+#   1. every src/<dir> must have a row in DESIGN.md's module map;
+#   2. every ctest label declared in tests/CMakeLists.txt must be
+#      documented (a `ctest ... -L <label>` mention in README or DESIGN);
+#   3. every bench/examples binary the README references must exist as a
+#      source file;
+#   4. every `--flag` the README shows for those binaries must appear in
+#      the bench/examples sources (literally, or as a parsed "flag" key).
+#
+# Run directly or via scripts/check.sh. Exit 0 = docs in sync.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+err() {
+  echo "check_docs: $*" >&2
+  fail=1
+}
+
+# --- 1. module map covers every src/<dir> ----------------------------------
+for dir in src/*/; do
+  mod="$(basename "$dir")"
+  if ! grep -q "| \`src/${mod}\` |" DESIGN.md; then
+    err "src/${mod} has no row in DESIGN.md's module map (Sec. 3)"
+  fi
+done
+
+# --- 2. every ctest label is documented ------------------------------------
+labels="$(sed -n 's/.*LABELS \([a-z_|]*\).*/\1/p' tests/CMakeLists.txt \
+          | tr '|' '\n' | sort -u)"
+for label in $labels; do
+  if ! grep -Eq -- "-L '?[a-z_|]*${label}" README.md DESIGN.md; then
+    err "ctest label '${label}' is not documented (no 'ctest ... -L ${label}' in README.md or DESIGN.md)"
+  fi
+done
+
+# --- 3. README-referenced binaries exist -----------------------------------
+refs="$(grep -oE '(bench|examples)/[A-Za-z0-9_]+' README.md | sort -u)"
+for ref in $refs; do
+  # A reference may be a source file (examples/foo.cpp), a binary name
+  # (bench/exp_foo), or a prefix family (bench/micro_*).
+  if [[ -e "$ref" || -e "${ref}.cpp" ]]; then
+    continue
+  fi
+  if compgen -G "${ref}[A-Za-z0-9_]*.cpp" > /dev/null; then
+    continue
+  fi
+  err "README.md references ${ref}, but no such source exists"
+done
+
+# --- 4. README-shown flags exist in the binaries ---------------------------
+# Flags on command lines invoking our binaries, plus backticked flag
+# mentions in prose. Bench binaries parse flags generically as
+# --key=value, so a flag counts as existing if its bare key appears as a
+# quoted string ("key") in the sources.
+flags="$( (grep -E 'build/(bench|examples)/' README.md \
+             | grep -oE -- '--[a-z][a-z0-9_-]*' || true;
+           grep -oE '`--[a-z][a-z0-9_-]*=?`' README.md \
+             | tr -d '\`=' || true) | sort -u)"
+for flag in $flags; do
+  key="${flag#--}"
+  if grep -rq -- "$flag" bench examples || \
+     grep -rq "\"${key}\"" bench examples; then
+    continue
+  fi
+  err "README.md shows flag ${flag}, but no bench/examples source handles it"
+done
+
+if [[ "$fail" != 0 ]]; then
+  echo "check_docs: FAILED — documentation has drifted from the tree" >&2
+  exit 1
+fi
+echo "check_docs: docs are in sync"

@@ -27,8 +27,12 @@ std::optional<double> estimate_pairwise(
 
 std::optional<double> estimate_committee(std::size_t m, std::size_t r,
                                          double w) {
-  if (m == 0 || r == 0 || w <= 0.0) return std::nullopt;
-  const double md = static_cast<double>(m);
+  return estimate_committee(static_cast<double>(m), r, w);
+}
+
+std::optional<double> estimate_committee(double m, std::size_t r, double w) {
+  if (m <= 0.0 || r == 0 || w <= 0.0) return std::nullopt;
+  const double md = m;
   const double rd = static_cast<double>(r);
   // No overlap observed (m == r·w): the MLE diverges.
   if (md >= rd * w - 1e-9) return std::nullopt;
@@ -107,6 +111,66 @@ SnapshotEstimates estimate_over_snapshots(
   if (counted > 0) {
     out.mean_union_size = union_acc / static_cast<double>(counted);
     for (auto& v : out.mean_set_sizes) v /= static_cast<double>(counted);
+  }
+  return out;
+}
+
+double measure_session_overlap(
+    const std::vector<std::vector<std::vector<crypto::PeerId>>>& snapshots) {
+  if (snapshots.size() < 2) return 1.0;
+  const std::size_t monitors = snapshots.front().size();
+  double acc = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t t = 0; t + 1 < snapshots.size(); ++t) {
+    if (snapshots[t].size() != monitors ||
+        snapshots[t + 1].size() != monitors) {
+      continue;
+    }
+    for (std::size_t i = 0; i < monitors; ++i) {
+      if (snapshots[t][i].empty() && snapshots[t + 1][i].empty()) continue;
+      acc += intersection_over_union(snapshots[t][i], snapshots[t + 1][i]);
+      ++pairs;
+    }
+  }
+  return pairs == 0 ? 1.0 : acc / static_cast<double>(pairs);
+}
+
+std::optional<double> estimate_pairwise_churned(
+    const std::vector<crypto::PeerId>& peers1,
+    const std::vector<crypto::PeerId>& peers2, double rho) {
+  const auto raw = estimate_pairwise(peers1, peers2);
+  if (!raw) return std::nullopt;
+  return *raw * rho;
+}
+
+ChurnedSnapshotEstimates estimate_over_snapshots_churned(
+    const std::vector<std::vector<std::vector<crypto::PeerId>>>& snapshots) {
+  ChurnedSnapshotEstimates out;
+  out.raw = estimate_over_snapshots(snapshots);
+  out.session_overlap = measure_session_overlap(snapshots);
+  const double rho = out.session_overlap;
+
+  out.pairwise_adjusted.values.reserve(out.raw.pairwise.values.size());
+  for (double v : out.raw.pairwise.values) {
+    out.pairwise_adjusted.values.push_back(v * rho);
+  }
+
+  const std::size_t monitors =
+      snapshots.empty() ? 0 : snapshots.front().size();
+  for (const auto& snapshot : snapshots) {
+    if (snapshot.size() != monitors || monitors == 0) continue;
+    std::unordered_set<crypto::PeerId> union_set;
+    double mean_w = 0.0;
+    for (const auto& peers : snapshot) {
+      union_set.insert(peers.begin(), peers.end());
+      mean_w += static_cast<double>(peers.size());
+    }
+    mean_w /= static_cast<double>(monitors);
+    if (const auto est = estimate_committee(
+            rho * static_cast<double>(union_set.size()), monitors,
+            rho * mean_w)) {
+      out.committee_adjusted.values.push_back(*est);
+    }
   }
   return out;
 }

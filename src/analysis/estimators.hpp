@@ -58,4 +58,45 @@ SnapshotEstimates estimate_over_snapshots(
 double intersection_over_union(const std::vector<crypto::PeerId>& a,
                                const std::vector<crypto::PeerId>& b);
 
+// --- Churn-aware variants ---------------------------------------------------
+//
+// Under churn a monitor's per-snapshot peer set mixes concurrently-online
+// peers with ones that already left (connections linger, sets accumulate
+// short sessions between snapshots), so both set sizes and their overlaps
+// are inflated relative to the concurrent network size the estimators
+// target. "Passively Measuring IPFS Churn and Network Size" (Daniel &
+// Tschorsch, 2022) corrects for this with the observed session overlap:
+// the fraction ρ of a monitor's peers that persist from one snapshot to
+// the next. Scaling the committee occupancy counts (union m, draw w) by ρ
+// keeps only the stable-core contribution; eq. (3) is scale-homogeneous,
+// so this equals scaling the raw estimate by ρ — which is also how the
+// pairwise estimate is corrected. With ρ = 1 (no churn) both variants
+// reduce exactly to the raw estimators.
+
+/// Observed session overlap ρ ∈ [0, 1]: the mean Jaccard similarity of
+/// each monitor's consecutive snapshots. 1.0 when fewer than two matched
+/// snapshots exist (no churn observable).
+double measure_session_overlap(
+    const std::vector<std::vector<std::vector<crypto::PeerId>>>& snapshots);
+
+/// Eq. (3) over fractional (churn-corrected) occupancy counts.
+std::optional<double> estimate_committee(double m, std::size_t r, double w);
+
+/// Eq. (1) corrected by session overlap `rho`.
+std::optional<double> estimate_pairwise_churned(
+    const std::vector<crypto::PeerId>& peers1,
+    const std::vector<crypto::PeerId>& peers2, double rho);
+
+/// Raw + churn-corrected estimates over matched per-monitor snapshots.
+struct ChurnedSnapshotEstimates {
+  SnapshotEstimates raw;
+  /// Observed session overlap ρ used for the corrections.
+  double session_overlap = 1.0;
+  EstimateSeries pairwise_adjusted;   // eq. (1) · ρ
+  EstimateSeries committee_adjusted;  // eq. (3) on (ρ·m, ρ·w)
+};
+
+ChurnedSnapshotEstimates estimate_over_snapshots_churned(
+    const std::vector<std::vector<std::vector<crypto::PeerId>>>& snapshots);
+
 }  // namespace ipfsmon::analysis

@@ -1,0 +1,41 @@
+#include "churn/session_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ipfsmon::churn {
+
+double SessionModel::sample_hours(util::RngStream& rng) const {
+  double hours = mean_hours;
+  switch (dist) {
+    case SessionDist::kExponential:
+      hours = rng.exponential(mean_hours);
+      break;
+    case SessionDist::kWeibull: {
+      // Inverse CDF: scale * (-ln(1-u))^(1/k), with the scale chosen so
+      // the mean comes out at mean_hours: scale = mean / Gamma(1 + 1/k).
+      const double k = std::max(shape, 1e-3);
+      const double scale = mean_hours / std::tgamma(1.0 + 1.0 / k);
+      const double u = rng.uniform();
+      hours = scale * std::pow(-std::log1p(-u), 1.0 / k);
+      break;
+    }
+    case SessionDist::kLogNormal: {
+      // mean = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2.
+      const double sigma = std::max(shape, 1e-3);
+      const double mu = std::log(mean_hours) - sigma * sigma / 2.0;
+      hours = rng.lognormal(mu, sigma);
+      break;
+    }
+    case SessionDist::kPareto: {
+      // mean = xm * alpha / (alpha - 1), defined only for alpha > 1.
+      const double alpha = std::max(shape, 1.001);
+      const double xm = mean_hours * (alpha - 1.0) / alpha;
+      hours = rng.pareto(xm, alpha);
+      break;
+    }
+  }
+  return std::max(hours, min_hours);
+}
+
+}  // namespace ipfsmon::churn

@@ -1,0 +1,42 @@
+// Heavy-tailed session and intersession length models for the churn
+// process. "Mapping the Interplanetary Filesystem" (Henningsen et al.,
+// 2020) measured IPFS session lengths as strongly heavy-tailed: most
+// sessions are minutes long while a fat tail stays up for days. A Weibull
+// with shape < 1 (or a lognormal / Pareto) reproduces that; exponential is
+// kept for the memoryless baseline the rest of the simulator already uses.
+#pragma once
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace ipfsmon::churn {
+
+enum class SessionDist {
+  kExponential,
+  kWeibull,    // shape < 1 gives the measured heavy tail
+  kLogNormal,
+  kPareto,
+};
+
+/// A distribution over durations, parameterised by its mean so scenarios
+/// can sweep churn *rate* without re-deriving per-distribution parameters.
+struct SessionModel {
+  SessionDist dist = SessionDist::kWeibull;
+  /// Mean duration in hours (all distributions are scaled to hit this).
+  double mean_hours = 1.0;
+  /// Tail parameter: Weibull shape k, Pareto alpha, lognormal sigma.
+  /// Ignored for exponential.
+  double shape = 0.6;
+  /// Durations are clamped below at this (default 30 s): sub-second
+  /// sessions would churn faster than a dial completes.
+  double min_hours = 30.0 / 3600.0;
+
+  /// Draws one duration, in hours.
+  double sample_hours(util::RngStream& rng) const;
+
+  util::SimDuration sample(util::RngStream& rng) const {
+    return util::seconds(sample_hours(rng) * 3600.0);
+  }
+};
+
+}  // namespace ipfsmon::churn

@@ -68,7 +68,7 @@ bool PassiveMonitor::finalize_spill() {
 
 void PassiveMonitor::record_message(const crypto::PeerId& from,
                                     const bitswap::BitswapMessage& message) {
-  if (message.entries.empty()) return;
+  if (crashed_ || message.entries.empty()) return;
   bitswap_active_.insert(from);
   const net::NodeRecord* rec = network().record(from);
   const net::Address addr = rec != nullptr ? rec->address : net::Address{};
@@ -120,6 +120,72 @@ void PassiveMonitor::schedule_snapshot() {
                                     static_cast<double>(snapshots_.size()));
         schedule_snapshot();
       });
+}
+
+void PassiveMonitor::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  snapshots_were_running_ = snapshot_timer_.pending();
+  stop_snapshots();
+  if (spill_ != nullptr) {
+    // The unflushed tail dies with the process; flushed segments stay on
+    // disk behind a stale/missing MANIFEST for restart() to recover.
+    spill_->abandon();
+    spill_.reset();
+  } else {
+    trace_ = trace::Trace{};  // the in-memory trace dies with the process
+    metrics_.trace_size->set(0.0);
+  }
+  go_offline();
+  // Crash metrics are registered lazily: crash-free runs keep a registry
+  // byte-identical to builds without the feature.
+  network().obs().metrics
+      .counter("ipfsmon_monitor_crashes_total",
+               "Monitor crash events injected")
+      .inc();
+  if (network().obs().events.active()) {
+    network().obs().events.emit(network().scheduler().now(),
+                                obs::Severity::kWarn, "monitor",
+                                "monitor " + std::to_string(monitor_id_) +
+                                    " crashed");
+  }
+}
+
+void PassiveMonitor::restart(const std::vector<crypto::PeerId>& bootstrap) {
+  if (!crashed_) return;
+  crashed_ = false;
+  if (!spill_dir_.empty()) {
+    tracestore::StoreOptions options;
+    options.max_entries_per_segment = spill_segment_entries_;
+    options.max_segment_span = spill_segment_span_;
+    options.obs = &network().obs();
+    std::string error;
+    tracestore::RecoveryReport report;
+    spill_ = tracestore::SegmentWriter::resume(spill_dir_, options, &report,
+                                               &error);
+    last_recovery_ = std::move(report);
+    if (spill_ == nullptr) {
+      network().obs().events.emit(network().scheduler().now(),
+                                  obs::Severity::kError, "monitor",
+                                  "spill recovery failed, recording in "
+                                  "memory: " + error);
+    } else {
+      metrics_.trace_size->set(
+          static_cast<double>(spill_->entries_written()));
+    }
+  }
+  go_online(bootstrap);
+  if (snapshots_were_running_) start_snapshots();
+  network().obs().metrics
+      .counter("ipfsmon_monitor_restarts_total",
+               "Monitor restarts after injected crashes")
+      .inc();
+  if (network().obs().events.active()) {
+    network().obs().events.emit(network().scheduler().now(),
+                                obs::Severity::kInfo, "monitor",
+                                "monitor " + std::to_string(monitor_id_) +
+                                    " restarted");
+  }
 }
 
 void PassiveMonitor::reset_observations() {

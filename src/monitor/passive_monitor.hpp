@@ -79,6 +79,28 @@ class PassiveMonitor : public node::IpfsNode {
   /// Clears trace and counters (e.g. between warm-up and measurement).
   void reset_observations();
 
+  // --- Crash/restart (fault injection, src/churn) ------------------------
+
+  /// Kills the monitor at the current sim time: it drops off the network,
+  /// snapshots stop, and everything that only lived in process memory is
+  /// lost — the in-memory trace, or a spilling monitor's unflushed segment
+  /// tail. A spilling monitor's store directory is left exactly as a real
+  /// crash would: flushed segments on disk behind a stale or missing
+  /// MANIFEST, for restart() to recover. Idempotent while crashed.
+  void crash();
+
+  /// Restarts a crashed monitor: recovers the spill store via
+  /// tracestore::SegmentWriter::resume (torn tail quarantined, MANIFEST
+  /// rebuilt), rejoins the network through `bootstrap`, and resumes
+  /// snapshots if they were running at crash time. No-op unless crashed.
+  void restart(const std::vector<crypto::PeerId>& bootstrap);
+
+  bool crashed() const { return crashed_; }
+  /// Details of the most recent restart()'s spill recovery.
+  const tracestore::RecoveryReport& last_recovery() const {
+    return last_recovery_;
+  }
+
  protected:
   void on_peer_connected_hook(const crypto::PeerId& peer) override;
 
@@ -91,6 +113,9 @@ class PassiveMonitor : public node::IpfsNode {
   void start_spill();
 
   trace::MonitorId monitor_id_;
+  bool crashed_ = false;
+  bool snapshots_were_running_ = false;
+  tracestore::RecoveryReport last_recovery_;
   util::SimDuration snapshot_interval_;
   std::string spill_dir_;
   std::uint64_t spill_segment_entries_;

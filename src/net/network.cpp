@@ -1,11 +1,17 @@
 #include "net/network.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "util/time.hpp"
 
 namespace ipfsmon::net {
 
 Network::Network(sim::Scheduler& scheduler, GeoDatabase geo, std::uint64_t seed)
-    : scheduler_(scheduler), geo_(std::move(geo)), rng_(seed, "network") {
+    : scheduler_(scheduler),
+      geo_(std::move(geo)),
+      rng_(seed, "network"),
+      seed_(seed) {
   auto& m = obs_.metrics;
   metrics_.dials = &m.counter("ipfsmon_net_dials_total", "Dial attempts");
   metrics_.dial_failures = &m.counter(
@@ -171,6 +177,11 @@ void Network::dial(const crypto::PeerId& from, const crypto::PeerId& to,
       if (cb) cb(std::nullopt);
       return;
     }
+    if (!isolated_.empty() && (isolated(from) || isolated(to))) {
+      metrics_.dial_failures->inc();
+      if (cb) cb(std::nullopt);  // partitioned endpoints cannot connect
+      return;
+    }
     if (from == to) {
       metrics_.dial_failures->inc();
       if (cb) cb(std::nullopt);
@@ -206,6 +217,99 @@ void Network::dial(const crypto::PeerId& from, const crypto::PeerId& to,
     }
     if (cb) cb(connections_.count(conn) != 0 ? std::optional(conn)
                                              : std::nullopt);
+  });
+}
+
+// --- Fault injection --------------------------------------------------------
+
+void Network::ensure_fault_plumbing() {
+  if (fault_rng_ != nullptr) return;
+  fault_rng_ = std::make_unique<util::RngStream>(seed_, "network-faults");
+  auto& m = obs_.metrics;
+  fault_metrics_.fault_drops = &m.counter(
+      "ipfsmon_net_fault_drops_total",
+      "Payloads dropped by the link fault layer (loss or partition)");
+  fault_metrics_.backoff_retries = &m.counter(
+      "ipfsmon_net_backoff_retries_total",
+      "Dial retries scheduled by dial_with_backoff after a failed attempt");
+  fault_metrics_.backoff_exhausted = &m.counter(
+      "ipfsmon_net_backoff_exhausted_total",
+      "dial_with_backoff sequences that gave up after max_attempts");
+  fault_metrics_.isolated_nodes =
+      &m.gauge("ipfsmon_net_isolated_nodes",
+               "Nodes currently cut off by a partition window");
+}
+
+void Network::set_link_faults(const LinkFaultProfile& profile) {
+  link_faults_ = profile;
+  if (link_faults_.active()) ensure_fault_plumbing();
+}
+
+void Network::isolate(const crypto::PeerId& id) {
+  if (nodes_.count(id) == 0 || !isolated_.insert(id).second) return;
+  ensure_fault_plumbing();
+  fault_metrics_.isolated_nodes->set(static_cast<double>(isolated_.size()));
+  close_all_of(id);
+  if (obs_.events.active()) {
+    obs_.events.emit(scheduler_.now(), obs::Severity::kWarn, "net",
+                     "partition isolates " + id.short_hex());
+  }
+}
+
+void Network::heal(const crypto::PeerId& id) {
+  if (isolated_.erase(id) == 0) return;
+  fault_metrics_.isolated_nodes->set(static_cast<double>(isolated_.size()));
+  if (obs_.events.active()) {
+    obs_.events.emit(scheduler_.now(), obs::Severity::kInfo, "net",
+                     "partition heals " + id.short_hex());
+  }
+}
+
+bool Network::isolated(const crypto::PeerId& id) const {
+  return isolated_.count(id) != 0;
+}
+
+void Network::dial_with_backoff(
+    const crypto::PeerId& from, const crypto::PeerId& to,
+    const BackoffPolicy& policy,
+    std::function<void(std::optional<ConnectionId>)> on_result) {
+  ensure_fault_plumbing();
+  dial_backoff_attempt(from, to, policy, /*attempt=*/1, policy.initial_delay,
+                       std::move(on_result));
+}
+
+void Network::dial_backoff_attempt(
+    const crypto::PeerId& from, const crypto::PeerId& to, BackoffPolicy policy,
+    std::size_t attempt, util::SimDuration delay,
+    std::function<void(std::optional<ConnectionId>)> on_result) {
+  dial(from, to, [this, from, to, policy, attempt, delay,
+                  cb = std::move(on_result)](
+                     std::optional<ConnectionId> conn) mutable {
+    if (conn.has_value()) {
+      if (cb) cb(conn);
+      return;
+    }
+    if (attempt >= std::max<std::size_t>(policy.max_attempts, 1)) {
+      fault_metrics_.backoff_exhausted->inc();
+      if (cb) cb(std::nullopt);
+      return;
+    }
+    fault_metrics_.backoff_retries->inc();
+    const double jitter =
+        policy.jitter > 0.0
+            ? fault_rng_->uniform(1.0 - policy.jitter, 1.0 + policy.jitter)
+            : 1.0;
+    const auto wait = static_cast<util::SimDuration>(
+        static_cast<double>(delay) * jitter);
+    auto next_delay = static_cast<util::SimDuration>(
+        static_cast<double>(delay) * policy.multiplier);
+    next_delay = std::min(next_delay, policy.max_delay);
+    scheduler_.schedule_after(
+        wait, [this, from, to, policy, attempt, next_delay,
+               cb = std::move(cb)]() mutable {
+          dial_backoff_attempt(from, to, policy, attempt + 1, next_delay,
+                               std::move(cb));
+        });
   });
 }
 
@@ -246,7 +350,24 @@ void Network::send(ConnectionId conn, const crypto::PeerId& sender,
   if (!a_to_b && sender != c.b) return;  // not a party to this connection
   const crypto::PeerId receiver = a_to_b ? c.b : c.a;
 
-  const util::SimDuration latency = sample_latency(sender, receiver);
+  // Fault layer: inert (no RNG draws, no branches beyond this check) unless
+  // link faults or a partition window are active.
+  if (link_faults_.active() || !isolated_.empty()) {
+    if (isolated(sender) || isolated(receiver) ||
+        (link_faults_.drop_probability > 0.0 &&
+         fault_rng_->bernoulli(link_faults_.drop_probability))) {
+      ++fault_drops_count_;
+      fault_metrics_.fault_drops->inc();
+      metrics_.messages_dropped->inc();
+      return;
+    }
+  }
+
+  util::SimDuration latency = sample_latency(sender, receiver);
+  if (link_faults_.extra_delay_mean_seconds > 0.0) {
+    latency += util::seconds(
+        fault_rng_->exponential(link_faults_.extra_delay_mean_seconds));
+  }
   metrics_.messages_sent->inc();
   metrics_.latency->observe(util::to_seconds(latency));
   util::SimTime deliver_at = scheduler_.now() + latency;

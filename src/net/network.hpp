@@ -11,6 +11,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "crypto/keys.hpp"
@@ -37,6 +38,36 @@ using PayloadPtr = std::shared_ptr<const Payload>;
 
 using ConnectionId = std::uint64_t;
 constexpr ConnectionId kInvalidConnection = 0;
+
+/// Link-level fault model applied to every payload in flight (src/churn
+/// drives this; the Network owns it because drops and delays must happen
+/// inside the delivery path). All-zero (the default) means the fault layer
+/// is completely inert: no extra RNG draws, no extra metrics — runs with
+/// faults disabled are byte-identical to builds without the feature.
+struct LinkFaultProfile {
+  /// Independent per-payload loss probability (models gray failure /
+  /// overloaded relays dropping Bitswap broadcasts).
+  double drop_probability = 0.0;
+  /// Mean of an exponential extra one-way delay added to every delivery.
+  double extra_delay_mean_seconds = 0.0;
+
+  bool active() const {
+    return drop_probability > 0.0 || extra_delay_mean_seconds > 0.0;
+  }
+};
+
+/// Retry policy for dial_with_backoff: exponential backoff with
+/// multiplicative jitter, the reconnection discipline churn-aware layers
+/// use after partitions heal or monitors restart.
+struct BackoffPolicy {
+  util::SimDuration initial_delay = 1 * util::kSecond;
+  double multiplier = 2.0;
+  util::SimDuration max_delay = 2 * util::kMinute;
+  /// Total dial attempts (first try included). 0 behaves like 1.
+  std::size_t max_attempts = 6;
+  /// Delay is scaled by a uniform factor in [1-jitter, 1+jitter].
+  double jitter = 0.2;
+};
 
 /// Callback interface a node installs to participate in the overlay.
 class Host {
@@ -143,6 +174,35 @@ class Network {
   /// rendezvous, peer exchange) collapsed into one sampling primitive.
   std::optional<crypto::PeerId> sample_online_public(util::RngStream& rng) const;
 
+  // --- Fault injection (src/churn drives these) ---------------------------
+
+  /// Installs (or clears, with a default-constructed profile) the link
+  /// fault model. Fault randomness comes from a dedicated stream, so
+  /// enabling faults never perturbs latency/geo sampling sequences.
+  void set_link_faults(const LinkFaultProfile& profile);
+  const LinkFaultProfile& link_faults() const { return link_faults_; }
+
+  /// Hard-partitions a node: all of its connections are closed and every
+  /// dial or payload involving it fails until heal() — the simulated
+  /// equivalent of a network-level outage around one peer. The node itself
+  /// keeps believing it is online (its timers keep firing and failing),
+  /// which is exactly the gray-failure shape reconnection logic must
+  /// survive. No-op on unknown ids.
+  void isolate(const crypto::PeerId& id);
+  void heal(const crypto::PeerId& id);
+  bool isolated(const crypto::PeerId& id) const;
+  std::size_t isolated_count() const { return isolated_.size(); }
+
+  /// Dials with exponential backoff: retries failed dials per `policy`
+  /// until one succeeds or attempts are exhausted (callback then receives
+  /// nullopt). Succeeding immediately costs exactly one plain dial.
+  void dial_with_backoff(const crypto::PeerId& from, const crypto::PeerId& to,
+                         const BackoffPolicy& policy,
+                         std::function<void(std::optional<ConnectionId>)>
+                             on_result);
+
+  std::uint64_t fault_drops() const { return fault_drops_count_; }
+
  private:
   struct Connection {
     crypto::PeerId a, b;
@@ -156,6 +216,14 @@ class Network {
                                    const crypto::PeerId& b);
   ConnectionId establish(const crypto::PeerId& from, const crypto::PeerId& to);
   void close_all_of(const crypto::PeerId& id);
+  /// Lazily creates the fault RNG stream and registers fault metrics.
+  /// Deferred so fault-free runs register nothing (registry dumps stay
+  /// byte-identical to builds that never heard of faults).
+  void ensure_fault_plumbing();
+  void dial_backoff_attempt(
+      const crypto::PeerId& from, const crypto::PeerId& to,
+      BackoffPolicy policy, std::size_t attempt, util::SimDuration delay,
+      std::function<void(std::optional<ConnectionId>)> on_result);
   /// Per-country connection-endpoint gauge (each open connection counts
   /// once per endpoint country). Cached: country sets are small.
   obs::Gauge& country_gauge(const std::string& country);
@@ -164,7 +232,23 @@ class Network {
   sim::Scheduler& scheduler_;
   GeoDatabase geo_;
   util::RngStream rng_;
+  std::uint64_t seed_;
   obs::Obs obs_;
+
+  // Fault layer (inert until set_link_faults/isolate/dial_with_backoff is
+  // first used). The RNG is a separate named stream derived from the
+  // network seed, never from rng_, so fault draws cannot shift the
+  // latency/geo sampling sequence of the fault-free run.
+  LinkFaultProfile link_faults_;
+  std::unordered_set<crypto::PeerId> isolated_;
+  std::unique_ptr<util::RngStream> fault_rng_;
+  std::uint64_t fault_drops_count_ = 0;
+  struct FaultInstruments {
+    obs::Counter* fault_drops = nullptr;
+    obs::Counter* backoff_retries = nullptr;
+    obs::Counter* backoff_exhausted = nullptr;
+    obs::Gauge* isolated_nodes = nullptr;
+  } fault_metrics_;
 
   struct Instruments {
     obs::Counter* dials = nullptr;

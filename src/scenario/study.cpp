@@ -38,6 +38,8 @@ MonitoringStudy::MonitoringStudy(StudyConfig config)
     if (!config_.monitor_spill_dir.empty()) {
       mon_config.spill_dir =
           config_.monitor_spill_dir + "/monitor-" + std::to_string(i);
+      mon_config.spill_segment_entries = config_.spill_segment_entries;
+      mon_config.spill_segment_span = config_.spill_segment_span;
     }
     mon_config.node = config_.population.node;
     mon_config.node.discovery_weight = config_.monitor_discovery_weight;
@@ -53,6 +55,20 @@ MonitoringStudy::MonitoringStudy(StudyConfig config)
           *network_, std::move(keys), address, country, mon_config,
           rng_.fork(i + 1000)));
     }
+  }
+
+  // Fault injection last, and only when enabled: the "churn" RNG fork must
+  // not happen otherwise, or it would shift rng_'s state and perturb every
+  // existing fault-free run.
+  if (config_.churn.enabled()) {
+    churn::ChurnConfig churn_config = config_.churn;
+    churn_config.nodes.node = config_.population.node;
+    injector_ = std::make_unique<churn::FaultInjector>(
+        *network_, std::move(churn_config), rng_.fork("churn"));
+    injector_->set_request_source([this](util::RngStream& rng) {
+      return catalog_->sample(rng).root;
+    });
+    for (auto& m : monitors_) injector_->add_monitor(m.get());
   }
 
   if (config_.collect_metrics) setup_collector();
@@ -112,6 +128,7 @@ void MonitoringStudy::run_warmup() {
       static_cast<monitor::ActiveMonitor*>(m.get())->start_sweeps();
     }
   }
+  if (injector_) injector_->start(bootstrap);
   if (collector_ && !collector_->running()) collector_->start();
 
   run_span(scheduler_.now() + config_.warmup, "warmup");

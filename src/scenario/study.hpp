@@ -7,6 +7,7 @@
 
 #include <memory>
 
+#include "churn/injector.hpp"
 #include "monitor/active_monitor.hpp"
 #include "monitor/passive_monitor.hpp"
 #include "obs/collector.hpp"
@@ -33,6 +34,10 @@ struct StudyConfig {
   /// out-of-core path; see src/tracestore). unified_trace() is then empty —
   /// use finalize_monitor_spill() + tracestore::unify_stores instead.
   std::string monitor_spill_dir;
+  /// Segment roll caps for spilling monitors. Shorter spans bound how much
+  /// recording a monitor crash can lose (only the open segment dies).
+  std::uint64_t spill_segment_entries = 1u << 16;
+  util::SimDuration spill_segment_span = 6 * util::kHour;
 
   /// Use crawling ActiveMonitors instead of purely passive ones — the
   /// "more active peer discovery mechanism" the paper suggests for
@@ -62,6 +67,13 @@ struct StudyConfig {
   CatalogConfig catalog;
   PopulationConfig population;
   GatewayFleetConfig gateways;
+
+  /// Fault injection (src/churn): transient-peer churn, link faults,
+  /// partition windows, monitor crash/restart. Inert by default — with an
+  /// all-default config no injector is created, no churn RNG stream is
+  /// forked, and runs are byte-identical to pre-churn builds. Transient
+  /// peers run the population's member node config.
+  churn::ChurnConfig churn;
 };
 
 class MonitoringStudy {
@@ -97,6 +109,9 @@ class MonitoringStudy {
   ContentCatalog& catalog() { return *catalog_; }
   Population& population() { return *population_; }
   GatewayFleet* gateways() { return fleet_.get(); }
+  /// Null unless config.churn.enabled().
+  churn::FaultInjector* injector() { return injector_.get(); }
+  const churn::FaultInjector* injector() const { return injector_.get(); }
   std::vector<monitor::PassiveMonitor*> monitors();
   monitor::PassiveMonitor& monitor(std::size_t i) { return *monitors_[i]; }
 
@@ -128,6 +143,9 @@ class MonitoringStudy {
   std::unique_ptr<GatewayFleet> fleet_;
   std::vector<std::unique_ptr<monitor::PassiveMonitor>> monitors_;
   std::unique_ptr<obs::Collector> collector_;
+  // Declared after monitors_/network_: destroyed first, while everything
+  // it references is still alive.
+  std::unique_ptr<churn::FaultInjector> injector_;
 };
 
 }  // namespace ipfsmon::scenario

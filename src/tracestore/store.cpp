@@ -1,5 +1,7 @@
 #include "tracestore/store.hpp"
 
+#include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -58,6 +60,76 @@ bool write_manifest(
   return true;
 }
 
+// --- Crash recovery ---------------------------------------------------------
+
+std::optional<RecoveryReport> recover_store_dir(const std::string& dir,
+                                                StoreOptions options,
+                                                std::string* error) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    if (error != nullptr) *error = dir + ": not a directory";
+    return std::nullopt;
+  }
+  // The MANIFEST cannot be trusted after a crash (finalize() never ran, or
+  // ran in a previous incarnation); enumerate segment files directly.
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with("seg-") && name.ends_with(".seg")) {
+      files.push_back(name);
+    }
+  }
+  if (ec) {
+    if (error != nullptr) *error = "scan " + dir + ": " + ec.message();
+    return std::nullopt;
+  }
+  std::sort(files.begin(), files.end());
+
+  RecoveryReport report;
+  for (const auto& name : files) {
+    // "seg-%06zu.seg": strtoul stops at the '.', malformed names parse as 0
+    // which only ever grows next_segment_index.
+    const std::size_t index = std::strtoul(name.c_str() + 4, nullptr, 10);
+    report.next_segment_index =
+        std::max(report.next_segment_index, index + 1);
+    const std::string path = (fs::path(dir) / name).string();
+    std::string footer_error;
+    auto footer = read_segment_footer(path, &footer_error);
+    if (!footer) {
+      fs::rename(path, path + ".torn", ec);
+      fs::remove(rollup_path_for(path), ec);
+      ++report.segments_dropped;
+      report.notes.push_back("dropped torn segment " + name + ": " +
+                             footer_error);
+      obs_warn(options.obs,
+               "recovery dropped torn segment " + name + ": " + footer_error);
+      continue;
+    }
+    report.entries_recovered += footer->entry_count;
+    report.segments.emplace_back(name, std::move(*footer));
+    ++report.segments_kept;
+  }
+
+  std::string manifest_error;
+  if (!write_manifest(dir, report.segments, &manifest_error)) {
+    if (error != nullptr) *error = "rebuild manifest: " + manifest_error;
+    return std::nullopt;
+  }
+  if (options.obs != nullptr) {
+    options.obs->metrics
+        .counter("ipfsmon_tracestore_recoveries_total",
+                 "Store directories repaired by crash recovery")
+        .inc();
+    if (report.segments_dropped > 0) {
+      options.obs->metrics
+          .counter("ipfsmon_tracestore_torn_segments_total",
+                   "Torn segments quarantined during crash recovery")
+          .inc(static_cast<double>(report.segments_dropped));
+    }
+  }
+  return report;
+}
+
 // --- SegmentWriter ----------------------------------------------------------
 
 SegmentWriter::SegmentWriter(std::string dir, StoreOptions options)
@@ -98,6 +170,21 @@ std::unique_ptr<SegmentWriter> SegmentWriter::create(const std::string& dir,
       new SegmentWriter(dir, options));
 }
 
+std::unique_ptr<SegmentWriter> SegmentWriter::resume(const std::string& dir,
+                                                     StoreOptions options,
+                                                     RecoveryReport* report,
+                                                     std::string* error) {
+  auto recovered = recover_store_dir(dir, options, error);
+  if (!recovered) return nullptr;
+  auto writer =
+      std::unique_ptr<SegmentWriter>(new SegmentWriter(dir, options));
+  writer->segments_ = recovered->segments;
+  writer->next_index_ = recovered->next_segment_index;
+  writer->entries_written_ = recovered->entries_recovered;
+  if (report != nullptr) *report = std::move(*recovered);
+  return writer;
+}
+
 SegmentWriter::~SegmentWriter() {
   if (!finalized_) finalize();
 }
@@ -115,9 +202,14 @@ void SegmentWriter::append(const trace::TraceEntry& entry) {
   if (entries_counter_ != nullptr) entries_counter_->inc();
 }
 
+void SegmentWriter::abandon() {
+  open_ = trace::Trace{};
+  finalized_ = true;
+}
+
 void SegmentWriter::flush_open_segment() {
   if (open_.empty()) return;
-  const std::string name = segment_name(segments_.size());
+  const std::string name = segment_name(next_index_++);
   const std::string path = (fs::path(dir_) / name).string();
   SegmentFooter footer;
   std::string error;

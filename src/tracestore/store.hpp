@@ -42,6 +42,30 @@ struct StoreOptions {
   obs::Obs* obs = nullptr;
 };
 
+/// What crash recovery found and did in a store directory.
+struct RecoveryReport {
+  std::size_t segments_kept = 0;
+  /// Torn/corrupt segments quarantined as "<name>.torn" (their stale
+  /// rollup sidecars are deleted).
+  std::size_t segments_dropped = 0;
+  std::uint64_t entries_recovered = 0;
+  /// First segment index a resumed writer may use without colliding with
+  /// any file seen on disk (valid or torn).
+  std::size_t next_segment_index = 0;
+  std::vector<std::pair<std::string, SegmentFooter>> segments;
+  std::vector<std::string> notes;
+};
+
+/// Crash recovery for a store directory. After a crash the MANIFEST is
+/// stale or missing (it is only published by finalize()), so this scans the
+/// directory for segment files directly, validates each footer, renames any
+/// torn segment (usually the tail that was mid-write) to "<name>.torn", and
+/// rebuilds the MANIFEST atomically from the surviving segments. Idempotent.
+/// Returns nullopt only when the directory itself is unusable.
+std::optional<RecoveryReport> recover_store_dir(const std::string& dir,
+                                                StoreOptions options = {},
+                                                std::string* error = nullptr);
+
 class SegmentWriter {
  public:
   /// Creates `dir` (and parents) and removes any previous store contents
@@ -49,6 +73,16 @@ class SegmentWriter {
   /// nullptr on IO failure (error describes why).
   static std::unique_ptr<SegmentWriter> create(const std::string& dir,
                                                StoreOptions options = {},
+                                               std::string* error = nullptr);
+
+  /// Reopens a crashed store for appending: runs recover_store_dir() on
+  /// `dir`, keeps the surviving segments, and resumes writing at the next
+  /// free segment index. Recovered entries count toward entries_written().
+  /// `report`, when non-null, receives the recovery details. Returns
+  /// nullptr when the directory is unusable.
+  static std::unique_ptr<SegmentWriter> resume(const std::string& dir,
+                                               StoreOptions options = {},
+                                               RecoveryReport* report = nullptr,
                                                std::string* error = nullptr);
 
   ~SegmentWriter();
@@ -64,6 +98,12 @@ class SegmentWriter {
   /// Idempotent; append() may not be called afterwards.
   bool finalize();
 
+  /// Simulates a crash: the buffered (unflushed) entries are discarded and
+  /// finalize() becomes a no-op, leaving already-flushed segments on disk
+  /// behind a stale or missing MANIFEST — exactly the state
+  /// recover_store_dir() repairs. Used by PassiveMonitor::crash().
+  void abandon();
+
   const std::string& dir() const { return dir_; }
   std::uint64_t entries_written() const { return entries_written_; }
   std::uint64_t segments_written() const { return segments_.size(); }
@@ -78,6 +118,10 @@ class SegmentWriter {
   StoreOptions options_;
   trace::Trace open_;  // entries of the segment being built
   std::vector<std::pair<std::string, SegmentFooter>> segments_;
+  // Next on-disk segment index. Tracked separately from segments_.size():
+  // after recovery drops a torn tail, resumed writers must not reuse its
+  // file name.
+  std::size_t next_index_ = 0;
   std::uint64_t entries_written_ = 0;
   bool finalized_ = false;
   bool failed_ = false;

@@ -63,14 +63,14 @@ TEST(Estimators, CommitteeReducesToPairwiseRegime) {
   // With r=2 and full-information values both estimators should land in
   // the same ballpark: simulate N=1000, w=400.
   // E[union] = N(1-(1-w/N)^r) = 1000*(1-0.36) = 640.
-  const auto est = estimate_committee(640, 2, 400.0);
+  const auto est = estimate_committee(std::size_t{640}, 2, 400.0);
   ASSERT_TRUE(est.has_value());
   EXPECT_NEAR(*est, 1000.0, 1.0);
 }
 
 TEST(Estimators, CommitteeUndefinedWithDisjointDraws) {
   // m == r·w means no overlap was observed: MLE diverges.
-  EXPECT_FALSE(estimate_committee(800, 2, 400.0).has_value());
+  EXPECT_FALSE(estimate_committee(std::size_t{800}, 2, 400.0).has_value());
 }
 
 class CommitteeRecovery
