@@ -9,6 +9,7 @@
 #include "cid/cid.hpp"
 #include "crypto/sha256.hpp"
 #include "dht/routing_table.hpp"
+#include "obs/span.hpp"
 #include "scenario/study.hpp"
 #include "trace/preprocess.hpp"
 #include "util/base58.hpp"
@@ -128,6 +129,53 @@ void BM_EndToEndSim(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EndToEndSim)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// Span lifecycle at sampling 1/N (arg): start_trace + attr + end. At the
+// default 1/64 most iterations take the unsampled early-out, which is the
+// cost every traced request path pays.
+void BM_SpanStartStop(benchmark::State& state) {
+  obs::Tracer tracer;
+  obs::TracerConfig config;
+  config.enabled = true;
+  config.sample_every = static_cast<std::uint64_t>(state.range(0));
+  tracer.configure(config);
+  for (auto _ : state) {
+    obs::Span span = tracer.start_trace("bench.request");
+    span.set_attr("k", std::uint64_t{42});
+    span.end();
+    benchmark::DoNotOptimize(span.active());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanStartStop)->Arg(1)->Arg(64);
+
+void BM_SpanIdDerive(benchmark::State& state) {
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs::Tracer::derive_id(7, 0x7472616365ull, n++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanIdDerive);
+
+// Buffer append under contention: every thread records sampled spans into
+// one shared tracer; the lock-sharded buffer is the contended resource.
+void BM_SpanBufferAppendContended(benchmark::State& state) {
+  static obs::Tracer& tracer = *[] {
+    static obs::Tracer t;
+    obs::TracerConfig config;
+    config.enabled = true;
+    config.sample_every = 1;
+    t.configure(config);
+    return &t;
+  }();
+  for (auto _ : state) {
+    obs::Span span = tracer.start_trace("bench.contended");
+    span.end();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanBufferAppendContended)->Threads(1)->Threads(4);
 
 void BM_PowerLawAlphaFit(benchmark::State& state) {
   util::RngStream rng(5, "bmpl");

@@ -8,18 +8,26 @@
 //
 // Usage: ipfsmon_queryd --store <dir> [--port N] [--bind ADDR]
 //                       [--workers N] [--cache N] [--no-rollups]
+//                       [--trace] [--trace-sample N] [--trace-export BASE]
 //        ipfsmon_queryd --demo-store   (simulate, spill, unify, serve)
+//
+// --trace enables request span tracing (served live on /debug/spans);
+// --trace-sample N records every Nth request (default 64; implies --trace);
+// --trace-export BASE writes BASE.spans.json (Perfetto/Chrome trace-event
+// JSON) and BASE.spans.jsonl on shutdown.
 //
 // SIGINT/SIGTERM drain gracefully: in-flight requests finish, then the
 // listener and workers shut down.
 #include <unistd.h>
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <string>
 
+#include "obs/span_export.hpp"
 #include "query/engine.hpp"
 #include "query/server.hpp"
 #include "scenario/study.hpp"
@@ -90,8 +98,9 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --store <dir> [--port N] [--bind ADDR] "
                "[--workers N] [--cache N] [--no-rollups]\n"
+               "       %*s [--trace] [--trace-sample N] [--trace-export BASE]\n"
                "       %s --demo-store\n",
-               argv0, argv0);
+               argv0, static_cast<int>(std::strlen(argv0)), "", argv0);
   return 1;
 }
 
@@ -99,6 +108,7 @@ int usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   std::string store_dir;
+  std::string trace_export_base;
   bool demo = false;
   query::QueryOptions query_options;
   query::ServerOptions server_options;
@@ -134,6 +144,19 @@ int main(int argc, char** argv) {
       query_options.cache_capacity = static_cast<std::size_t>(std::atoi(v));
     } else if (arg == "--no-rollups") {
       query_options.use_rollups = false;
+    } else if (arg == "--trace") {
+      query_options.tracing.enabled = true;
+    } else if (arg == "--trace-sample") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      query_options.tracing.enabled = true;
+      query_options.tracing.sample_every =
+          std::max(1, std::atoi(v));
+    } else if (arg == "--trace-export") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      trace_export_base = v;
+      query_options.tracing.enabled = true;
     } else {
       return usage(argv[0]);
     }
@@ -184,6 +207,12 @@ int main(int argc, char** argv) {
   std::printf("  curl '%s/v1/stats?min_t=0'\n", base.c_str());
   std::printf("  curl '%s/v1/popularity?k=5'\n", base.c_str());
   std::printf("  curl %s/v1/segments\n", base.c_str());
+  if (query_options.tracing.enabled) {
+    std::printf("  curl %s/debug/spans   (tracing 1/%llu requests)\n",
+                base.c_str(),
+                static_cast<unsigned long long>(
+                    query_options.tracing.sample_every));
+  }
 
   char byte = 0;
   while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
@@ -191,6 +220,21 @@ int main(int argc, char** argv) {
   std::printf("\nshutting down (draining %zu in-flight connections)...\n",
               server.in_flight());
   server.stop();
+  if (!trace_export_base.empty()) {
+    const auto spans = service->obs().tracer.snapshot();
+    std::string export_error;
+    const std::string json_path = trace_export_base + ".spans.json";
+    const std::string jsonl_path = trace_export_base + ".spans.jsonl";
+    const bool use_sim = obs::has_sim_times(spans);
+    if (obs::write_perfetto_json(json_path, spans, use_sim, &export_error) &&
+        obs::write_spans_jsonl(jsonl_path, spans, &export_error)) {
+      std::printf("exported %zu spans to %s + %s\n", spans.size(),
+                  json_path.c_str(), jsonl_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: span export failed: %s\n",
+                   export_error.c_str());
+    }
+  }
   const query::ServerCounters counters = server.counters();
   std::printf("served %llu requests on %llu connections\n",
               static_cast<unsigned long long>(counters.requests),

@@ -3,8 +3,8 @@
 # build, run the full test suite, then rebuild the obs + tracestore +
 # query + churn suites under AddressSanitizer
 # (`ctest -L 'obs|tracestore|query|churn'`) and the concurrent query +
-# tracestore suites plus churn under ThreadSanitizer
-# (`ctest -L 'query|tracestore|churn'`).
+# tracestore suites plus churn and the span tracer under ThreadSanitizer
+# (`ctest -L 'obs|query|tracestore|churn'`).
 #
 # Usage: scripts/check.sh [--no-asan] [--no-tsan]
 set -euo pipefail
@@ -34,17 +34,17 @@ ctest --test-dir build --output-on-failure
 if [[ "$RUN_ASAN" == "1" ]]; then
   echo "== asan: obs + tracestore + query + churn suites under -DIPFSMON_SANITIZE=address =="
   cmake -B build-asan -S . -DIPFSMON_SANITIZE=address >/dev/null
-  cmake --build build-asan -j "$JOBS" --target obs_test tracestore_test \
-    query_test churn_test trace_report
+  cmake --build build-asan -j "$JOBS" --target obs_test span_test \
+    tracestore_test query_test churn_test trace_report
   ctest --test-dir build-asan -L 'obs|tracestore|query|churn' --output-on-failure
 fi
 
 if [[ "$RUN_TSAN" == "1" ]]; then
-  echo "== tsan: query + tracestore + churn suites under -DIPFSMON_SANITIZE=thread =="
+  echo "== tsan: obs + query + tracestore + churn suites under -DIPFSMON_SANITIZE=thread =="
   cmake -B build-tsan -S . -DIPFSMON_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j "$JOBS" --target query_test tracestore_test \
-    churn_test trace_report
-  ctest --test-dir build-tsan -L 'query|tracestore|churn' --output-on-failure
+  cmake --build build-tsan -j "$JOBS" --target obs_test span_test \
+    query_test tracestore_test churn_test trace_report
+  ctest --test-dir build-tsan -L 'obs|query|tracestore|churn' --output-on-failure
 fi
 
 echo "== all checks passed =="

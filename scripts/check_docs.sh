@@ -7,7 +7,9 @@
 #   3. every bench/examples binary the README references must exist as a
 #      source file;
 #   4. every `--flag` the README shows for those binaries must appear in
-#      the bench/examples sources (literally, or as a parsed "flag" key).
+#      the bench/examples sources (literally, or as a parsed "flag" key);
+#   5. every HTTP endpoint the query engine routes must be documented
+#      (its path mentioned in README.md or DESIGN.md).
 #
 # Run directly or via scripts/check.sh. Exit 0 = docs in sync.
 set -euo pipefail
@@ -67,6 +69,18 @@ for flag in $flags; do
     continue
   fi
   err "README.md shows flag ${flag}, but no bench/examples source handles it"
+done
+
+# --- 5. every served endpoint is documented --------------------------------
+# Routed paths as they appear in the engine's dispatch (exact-match string
+# compares against request.path). Prefix routes like /v1/peers/<id>/wants
+# are matched by their /v1/peers/ stem.
+endpoints="$(grep -oE '"/(healthz|metrics|v1/[a-z]+/?|debug/[a-z]+)"' \
+               src/query/engine.cpp | tr -d '"' | sort -u)"
+for endpoint in $endpoints; do
+  if ! grep -qF -- "$endpoint" README.md DESIGN.md; then
+    err "query engine serves ${endpoint}, but neither README.md nor DESIGN.md mentions it"
+  fi
 done
 
 if [[ "$fail" != 0 ]]; then

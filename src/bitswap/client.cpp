@@ -69,6 +69,15 @@ void BitswapClient::fetch(const cid::Cid& cid, SessionId session,
   state->cid = cid;
   state->session = session;
   state->started = network_.scheduler().now();
+  auto& tracer = network_.obs().tracer;
+  if (tracer.enabled()) {
+    // Child of the caller's span (e.g. a gateway request) when one is in
+    // scope; otherwise its own sampled root (workload-driven fetches).
+    state->span = tracer.current().valid()
+                      ? tracer.start_span("bitswap.fetch", tracer.current())
+                      : tracer.start_trace("bitswap.fetch");
+    state->span.set_attr("cid", cid.short_hex());
+  }
   if (on_done) state->callbacks.push_back(std::move(on_done));
   // A populated session scopes the request; an empty/no session broadcasts
   // (the root request of a DAG download is always a broadcast).
@@ -128,6 +137,7 @@ void BitswapClient::send_want(const WantStatePtr& state,
   auto msg = std::make_shared<BitswapMessage>();
   msg->entries.push_back(
       build_entry(state->cid, type, send_dont_have, allow_salted));
+  msg->trace = state->span.context();
   network_.send(conn, self_, std::move(msg));
   state->told.insert(peer);
   ++stats_.want_messages_sent;
@@ -139,12 +149,19 @@ void BitswapClient::send_want(const WantStatePtr& state,
 void BitswapClient::broadcast_want(const WantStatePtr& state) {
   const WantType type =
       config_.use_want_have ? WantType::WantHave : WantType::WantBlock;
+  std::uint64_t sent = 0;
   for (const auto& peer : want_targets(state)) {
     const auto conn = network_.connection_between(self_, peer);
     if (!conn) continue;
     // Broadcast probes do not request explicit DONT_HAVEs (timeouts
     // determine absence); session-scoped wants do.
     send_want(state, peer, *conn, type, /*send_dont_have=*/!state->broadcast);
+    ++sent;
+  }
+  if (state->span.active()) {
+    const util::SimTime now = network_.scheduler().now();
+    network_.obs().tracer.add_span("bitswap.broadcast", state->span.context(),
+                                   now, now, {{"targets", std::to_string(sent)}});
   }
 }
 
@@ -193,6 +210,12 @@ void BitswapClient::try_next_candidate(const WantStatePtr& state) {
     // a plaintext directed request leaks nothing new to it.
     send_want(state, peer, *conn, WantType::WantBlock, /*send_dont_have=*/true,
               /*allow_salted=*/false);
+    if (state->span.active()) {
+      const util::SimTime now = network_.scheduler().now();
+      network_.obs().tracer.add_span("bitswap.want_block",
+                                     state->span.context(), now, now,
+                                     {{"peer", peer.short_hex()}});
+    }
     state->block_timeout_timer = network_.scheduler().schedule_after(
         config_.block_request_timeout, [this, state]() {
           if (state->done) return;
@@ -208,8 +231,19 @@ void BitswapClient::start_provider_search(const WantStatePtr& state) {
   state->provider_search_running = true;
   ++stats_.provider_searches;
   metrics_.provider_searches->inc();
+  state->provider_span = network_.obs().tracer.start_span(
+      "bitswap.provider_search", state->span.context());
+  // The DHT lookup starts synchronously inside search_; scope the
+  // implicit context so its spans parent here.
+  obs::ScopedContext scope(network_.obs().tracer,
+                           state->provider_span.context());
   search_(state->cid, [this, state](std::vector<dht::PeerRecord> providers) {
     state->provider_search_running = false;
+    if (state->provider_span.active()) {
+      state->provider_span.set_attr(
+          "providers", static_cast<std::uint64_t>(providers.size()));
+      state->provider_span.end();
+    }
     if (state->done || shut_down_) return;
     std::size_t contacted = 0;
     for (const auto& provider : providers) {
@@ -271,6 +305,7 @@ void BitswapClient::send_cancels(const WantStatePtr& state) {
     auto msg = std::make_shared<BitswapMessage>();
     msg->entries.push_back(
         build_entry(state->cid, WantType::Cancel, false, /*allow_salted=*/true));
+    msg->trace = state->span.context();
     network_.send(*conn, self_, std::move(msg));
     ++stats_.cancels_sent;
     metrics_.cancels->inc();
@@ -291,6 +326,8 @@ void BitswapClient::complete(WantStatePtr state, const dag::BlockPtr& block) {
   metrics_.fetches_completed->inc();
   metrics_.fetch_duration->observe(
       util::to_seconds(network_.scheduler().now() - state->started));
+  state->span.set_attr("outcome", "ok");
+  state->span.end();
   for (auto& cb : state->callbacks) {
     if (cb) cb(block);
   }
@@ -307,6 +344,8 @@ void BitswapClient::fail(WantStatePtr state) {
   active_.erase(state->cid);
   ++stats_.fetches_failed;
   metrics_.fetches_failed->inc();
+  state->span.set_attr("outcome", "fail");
+  state->span.end();
   for (auto& cb : state->callbacks) {
     if (cb) cb(nullptr);
   }

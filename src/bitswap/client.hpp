@@ -129,6 +129,12 @@ class BitswapClient {
     bool provider_search_running = false;
     bool done = false;
     util::SimTime started = 0;  // for the fetch-duration histogram
+    /// Fetch-lifetime span (inert unless the request is traced). Its
+    /// context is stamped on every outgoing want/cancel payload so
+    /// monitors and responders can link their spans to this fetch.
+    obs::Span span;
+    /// Covers one in-flight DHT provider search (at most one at a time).
+    obs::Span provider_span;
     sim::EventHandle rebroadcast_timer;
     sim::EventHandle provider_delay_timer;
     sim::EventHandle block_timeout_timer;

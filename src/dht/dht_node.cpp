@@ -34,6 +34,10 @@ struct DhtNode::LookupState {
   std::unordered_set<crypto::PeerId> provider_ids;
   std::size_t in_flight = 0;
   bool finished = false;
+  /// Lookup-lifetime span. Only requests with a caller context are traced
+  /// (e.g. a Bitswap provider search); periodic refresh lookups have none
+  /// and stay untraced.
+  obs::Span span;
 };
 
 DhtNode::DhtNode(net::Network& network, const crypto::PeerId& self,
@@ -282,6 +286,10 @@ void DhtNode::start_lookup(const Key& target, bool collect_providers,
   state->target = target;
   state->collect_providers = collect_providers;
   state->on_done = std::move(on_done);
+  auto& tracer = network_.obs().tracer;
+  state->span = tracer.start_span(
+      collect_providers ? "dht.find_providers" : "dht.find_closest",
+      tracer.current());
   if (collect_providers) seed_local_providers(state);
 
   for (const auto& peer : table_.closest(target, config_.k)) {
@@ -336,8 +344,19 @@ void DhtNode::lookup_step(const std::shared_ptr<LookupState>& state) {
                                          : DhtMessage::Type::FindNode;
     msg->target = state->target;
     const crypto::PeerId peer = entry.record.id;
+    std::shared_ptr<obs::Span> rpc_span;
+    if (state->span.active()) {
+      rpc_span = std::make_shared<obs::Span>(network_.obs().tracer.start_span(
+          "dht.rpc", state->span.context()));
+      rpc_span->set_attr("peer", peer.short_hex());
+      msg->trace = rpc_span->context();
+    }
     send_request(peer, std::move(msg),
-                 [this, state, peer](const DhtMessage* reply) {
+                 [this, state, peer, rpc_span](const DhtMessage* reply) {
+                   if (rpc_span) {
+                     rpc_span->set_attr("ok", reply != nullptr ? "1" : "0");
+                     rpc_span->end();
+                   }
                    --state->in_flight;
                    for (auto& e : state->shortlist) {
                      if (e.record.id == peer) {
@@ -383,6 +402,16 @@ void DhtNode::lookup_step(const std::shared_ptr<LookupState>& state) {
 void DhtNode::finish_lookup(const std::shared_ptr<LookupState>& state) {
   if (state->finished) return;
   state->finished = true;
+  if (state->span.active()) {
+    if (state->collect_providers) {
+      state->span.set_attr(
+          "providers",
+          static_cast<std::uint64_t>(state->providers_found.size()));
+    }
+    state->span.set_attr("shortlist",
+                         static_cast<std::uint64_t>(state->shortlist.size()));
+    state->span.end();
+  }
   LookupCallback cb = std::move(state->on_done);
   if (!cb) return;
   std::vector<PeerRecord> result;

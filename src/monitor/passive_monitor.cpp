@@ -73,6 +73,15 @@ void PassiveMonitor::record_message(const crypto::PeerId& from,
   const net::NodeRecord* rec = network().record(from);
   const net::Address addr = rec != nullptr ? rec->address : net::Address{};
   const util::SimTime now = network().scheduler().now();
+  if (message.trace.sampled) {
+    // The observation itself joins the request's trace — the causal link
+    // the paper's methodology is built on, made visible per request.
+    network().obs().tracer.add_span(
+        "monitor.capture", message.trace, now, now,
+        {{"monitor", std::to_string(monitor_id_)},
+         {"peer", from.short_hex()},
+         {"entries", std::to_string(message.entries.size())}});
+  }
   for (const auto& entry : message.entries) {
     trace::TraceEntry t;
     t.timestamp = now;

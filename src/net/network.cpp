@@ -245,6 +245,28 @@ void Network::set_link_faults(const LinkFaultProfile& profile) {
   if (link_faults_.active()) ensure_fault_plumbing();
 }
 
+void Network::enable_tracing(const obs::TracerConfig& config) {
+  obs_.tracer.configure(config);
+  if (!config.enabled) {
+    obs_.tracer.set_sim_clock(nullptr);
+    scheduler_.set_event_wrapper(nullptr);
+    return;
+  }
+  obs_.tracer.set_sim_clock([this] { return scheduler_.now(); });
+  // Timers break the synchronous call chain; re-attach the scheduling
+  // context around each dispatched event so child spans keep their
+  // parent. No wrapper is installed when tracing is off, so the
+  // scheduler's hot path stays untouched.
+  scheduler_.set_event_wrapper([this](sim::EventFn fn) {
+    const obs::SpanContext ctx = obs_.tracer.current();
+    if (!ctx.valid()) return fn;
+    return sim::EventFn([this, ctx, fn = std::move(fn)] {
+      obs::ScopedContext scope(obs_.tracer, ctx);
+      fn();
+    });
+  });
+}
+
 void Network::isolate(const crypto::PeerId& id) {
   if (nodes_.count(id) == 0 || !isolated_.insert(id).second) return;
   ensure_fault_plumbing();

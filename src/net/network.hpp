@@ -32,6 +32,12 @@ struct Payload {
   /// Approximate serialized size in bytes, for traffic accounting only
   /// (nothing is actually serialized in the sim). Subclasses refine it.
   virtual std::size_t wire_size() const { return 32; }
+
+  /// Causal trace context, stamped by the sender when the message belongs
+  /// to a sampled trace (invalid otherwise). Receivers — including
+  /// passive monitors — use it to parent their spans to the request that
+  /// caused the message.
+  obs::SpanContext trace;
 };
 
 using PayloadPtr = std::shared_ptr<const Payload>;
@@ -202,6 +208,16 @@ class Network {
                              on_result);
 
   std::uint64_t fault_drops() const { return fault_drops_count_; }
+
+  // --- Span tracing (src/obs) ---------------------------------------------
+
+  /// Arms obs().tracer for this simulation: installs the config, points
+  /// the tracer's sim clock at the scheduler, and installs a scheduler
+  /// event wrapper that captures the tracer's current context at schedule
+  /// time and restores it around dispatch — so traces survive timer hops
+  /// (dial handshakes, message delivery, Bitswap re-broadcast). Calling
+  /// with enabled = false restores the fully inert state.
+  void enable_tracing(const obs::TracerConfig& config);
 
  private:
   struct Connection {

@@ -24,10 +24,17 @@ void GatewayNode::handle_http_request(const cid::Cid& cid,
   ++http_requests_;
   const util::SimTime now = node_.network().scheduler().now();
 
+  // Root of the request's trace tree: everything the gateway triggers —
+  // Bitswap fetch, DHT lookup hops, monitor captures — parents here.
+  auto& tracer = node_.network().obs().tracer;
+  obs::Span span = tracer.start_trace("gateway.request");
+  span.set_attr("cid", cid.short_hex());
+
   if (node_.blockstore().has(cid)) {
     const auto it = fresh_until_.find(cid);
     if (it != fresh_until_.end() && it->second > now) {
       ++cache_hits_;
+      span.set_attr("cache", "hit");
       if (on_done) on_done(true, true);
       return;
     }
@@ -37,18 +44,29 @@ void GatewayNode::handle_http_request(const cid::Cid& cid,
     ++cache_hits_;
     ++bitswap_fetches_;
     fresh_until_[cid] = now + config_.cache_ttl;
-    node_.client().fetch(cid, bitswap::kNoSession, nullptr);
+    span.set_attr("cache", "revalidate");
+    {
+      obs::ScopedContext scope(tracer, span.context());
+      node_.client().fetch(cid, bitswap::kNoSession, nullptr);
+    }
     if (on_done) on_done(true, true);
     return;
   }
 
   ++bitswap_fetches_;
-  node_.fetch(cid, [this, cid, on_done = std::move(on_done)](
+  span.set_attr("cache", "miss");
+  // The span must outlive this frame (the fetch completes asynchronously);
+  // park it in the completion callback.
+  auto shared_span = std::make_shared<obs::Span>(std::move(span));
+  obs::ScopedContext scope(tracer, shared_span->context());
+  node_.fetch(cid, [this, cid, shared_span, on_done = std::move(on_done)](
                        dag::BlockPtr block) {
     if (block != nullptr) {
       fresh_until_[cid] =
           node_.network().scheduler().now() + config_.cache_ttl;
     }
+    shared_span->set_attr("ok", block != nullptr ? "1" : "0");
+    shared_span->end();
     if (on_done) on_done(block != nullptr, false);
   });
 }

@@ -118,6 +118,11 @@ void IpfsNode::fetch(const cid::Cid& cid, FetchCallback on_done) {
   // Cache first: repeat requests never reach the network, which is why
   // monitors only observe a node's *first* request for a data item.
   if (const dag::BlockPtr cached = blockstore_.get(cid)) {
+    auto& tracer = network_.obs().tracer;
+    if (tracer.current().valid()) {
+      const util::SimTime now = network_.scheduler().now();
+      tracer.add_span("node.blockstore_hit", tracer.current(), now, now);
+    }
     if (on_done) on_done(cached);
     return;
   }

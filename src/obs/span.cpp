@@ -1,0 +1,184 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/rng.hpp"
+
+namespace ipfsmon::obs {
+
+namespace {
+
+// Distinct derivation streams so trace IDs and span IDs never collide
+// even for equal sequence numbers.
+constexpr std::uint64_t kTraceStream = 0x7472616365ull;  // "trace"
+constexpr std::uint64_t kSpanStream = 0x7370616eull;     // "span"
+
+}  // namespace
+
+std::int64_t wall_micros_now() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+void Span::set_attr(std::string_view key, std::string value) {
+  if (!tracer_ || !rec_) return;
+  rec_->attrs.emplace_back(std::string(key), std::move(value));
+}
+
+void Span::set_attr(std::string_view key, std::uint64_t value) {
+  if (!tracer_ || !rec_) return;
+  rec_->attrs.emplace_back(std::string(key), std::to_string(value));
+}
+
+void Span::end() {
+  if (!tracer_) return;
+  Tracer* tracer = tracer_;
+  tracer_ = nullptr;
+  if (!rec_) return;
+  rec_->end_sim = tracer->sim_now();
+  rec_->end_us = wall_micros_now();
+  tracer->record(std::move(rec_));
+}
+
+void Tracer::configure(const TracerConfig& config) {
+  config_ = config;
+  if (config_.sample_every == 0) config_.sample_every = 1;
+  if (config_.shards == 0) config_.shards = 1;
+  if (config_.shard_capacity == 0) config_.shard_capacity = 1;
+  trace_seq_.store(0, std::memory_order_relaxed);
+  span_seq_.store(0, std::memory_order_relaxed);
+  record_seq_.store(0, std::memory_order_relaxed);
+  recorded_.store(0, std::memory_order_relaxed);
+  current_ = SpanContext{};
+  shards_.clear();
+  if (config_.enabled) {
+    shards_.reserve(config_.shards);
+    for (std::size_t i = 0; i < config_.shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+  }
+}
+
+std::uint64_t Tracer::derive_id(std::uint64_t seed, std::uint64_t stream,
+                                std::uint64_t n) {
+  std::uint64_t state =
+      seed ^ (stream * 0x9e3779b97f4a7c15ull) ^ ((n + 1) * 0xbf58476d1ce4e5b9ull);
+  const std::uint64_t id = util::splitmix64(state);
+  return id != 0 ? id : 1;
+}
+
+Span Tracer::make_span(std::string_view name, const SpanContext& ctx,
+                       std::uint64_t parent_id) {
+  auto rec = std::make_unique<SpanRecord>();
+  rec->trace_id = ctx.trace_id;
+  rec->span_id = ctx.span_id;
+  rec->parent_id = parent_id;
+  rec->name.assign(name);
+  rec->start_sim = sim_now();
+  rec->start_us = wall_micros_now();
+  return Span(this, ctx, std::move(rec));
+}
+
+Span Tracer::start_trace(std::string_view name) {
+  if (!config_.enabled) return Span();
+  const std::uint64_t n = trace_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (n % config_.sample_every != 0) return Span();
+  SpanContext ctx;
+  ctx.trace_id = derive_id(config_.seed, kTraceStream, n);
+  ctx.span_id = derive_id(config_.seed, kSpanStream,
+                          span_seq_.fetch_add(1, std::memory_order_relaxed));
+  ctx.sampled = true;
+  return make_span(name, ctx, /*parent_id=*/0);
+}
+
+Span Tracer::start_span(std::string_view name, const SpanContext& parent) {
+  if (!config_.enabled || !parent.valid() || !parent.sampled) return Span();
+  SpanContext ctx;
+  ctx.trace_id = parent.trace_id;
+  ctx.span_id = derive_id(config_.seed, kSpanStream,
+                          span_seq_.fetch_add(1, std::memory_order_relaxed));
+  ctx.sampled = true;
+  return make_span(name, ctx, parent.span_id);
+}
+
+SpanContext Tracer::add_span(std::string_view name, const SpanContext& parent,
+                             util::SimTime start_sim, util::SimTime end_sim,
+                             SpanAttrs attrs, std::int64_t start_us,
+                             std::int64_t end_us) {
+  if (!config_.enabled || !parent.valid() || !parent.sampled) {
+    return SpanContext{};
+  }
+  auto rec = std::make_unique<SpanRecord>();
+  rec->trace_id = parent.trace_id;
+  rec->span_id = derive_id(config_.seed, kSpanStream,
+                           span_seq_.fetch_add(1, std::memory_order_relaxed));
+  rec->parent_id = parent.span_id;
+  rec->name.assign(name);
+  rec->start_sim = start_sim;
+  rec->end_sim = end_sim;
+  rec->start_us = start_us >= 0 ? start_us : wall_micros_now();
+  rec->end_us = end_us >= 0 ? end_us : rec->start_us;
+  rec->attrs = std::move(attrs);
+  SpanContext ctx;
+  ctx.trace_id = rec->trace_id;
+  ctx.span_id = rec->span_id;
+  ctx.sampled = true;
+  record(std::move(rec));
+  return ctx;
+}
+
+void Tracer::record(std::unique_ptr<SpanRecord> rec) {
+  if (shards_.empty()) return;
+  rec->seq = record_seq_.fetch_add(1, std::memory_order_relaxed);
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = *shards_[rec->trace_id % shards_.size()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.spans.push_back(std::move(*rec));
+  if (shard.spans.size() > config_.shard_capacity) {
+    shard.spans.pop_front();
+    ++shard.dropped;
+  }
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::vector<SpanRecord> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.insert(out.end(), shard->spans.begin(), shard->spans.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+void Tracer::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->spans.clear();
+  }
+}
+
+std::uint64_t Tracer::spans_dropped() const {
+  std::uint64_t dropped = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    dropped += shard->dropped;
+  }
+  return dropped;
+}
+
+std::size_t Tracer::spans_buffered() const {
+  std::size_t buffered = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    buffered += shard->spans.size();
+  }
+  return buffered;
+}
+
+}  // namespace ipfsmon::obs

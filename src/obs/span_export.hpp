@@ -1,0 +1,69 @@
+// Exporters for finished spans: Chrome trace-event / Perfetto JSON for
+// the timeline UI, JSONL for scripted analysis, and compact per-trace
+// summaries backing the daemon's /debug/spans endpoint.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace ipfsmon::obs {
+
+/// One trace collapsed to its root: identity, fan-out, and duration in
+/// both timebases (wall for the daemon, sim for the simulator).
+struct TraceSummary {
+  std::uint64_t trace_id = 0;
+  std::string root_name;
+  std::size_t span_count = 0;
+  util::SimTime start_sim = 0;
+  util::SimDuration sim_duration = 0;
+  std::int64_t start_us = 0;
+  std::int64_t wall_us = 0;
+};
+
+/// 16-digit lowercase hex, the ID form used in every export format.
+std::string span_id_hex(std::uint64_t id);
+
+/// True if any span carries a nonzero sim timestamp — used to pick the
+/// export timebase automatically (simulator runs vs. daemon runs).
+bool has_sim_times(const std::vector<SpanRecord>& spans);
+
+/// Groups spans by trace and collapses each to a TraceSummary, ordered
+/// by trace start time (chosen timebase).
+std::vector<TraceSummary> summarize_traces(const std::vector<SpanRecord>& spans,
+                                           bool use_sim_time);
+
+/// Top `k` summaries by duration in the chosen timebase, slowest first.
+std::vector<TraceSummary> slowest_traces(std::vector<TraceSummary> summaries,
+                                         std::size_t k, bool use_sim_time);
+
+/// Last `k` summaries by start time, most recent first.
+std::vector<TraceSummary> recent_traces(std::vector<TraceSummary> summaries,
+                                        std::size_t k);
+
+/// Chrome trace-event JSON ({"traceEvents": [...]}) loadable in Perfetto
+/// (ui.perfetto.dev) and chrome://tracing. Each trace renders as one
+/// process; overlapping spans within a trace are spread over lanes
+/// ("threads") by greedy interval partitioning so parallel children (DHT
+/// RPC fan-out, per-segment scans) stay visible.
+std::string to_perfetto_json(const std::vector<SpanRecord>& spans,
+                             bool use_sim_time);
+
+/// One JSON object per line per span — grep/jq-friendly.
+std::string to_spans_jsonl(const std::vector<SpanRecord>& spans);
+
+bool write_perfetto_json(const std::string& path,
+                         const std::vector<SpanRecord>& spans,
+                         bool use_sim_time, std::string* error = nullptr);
+
+bool write_spans_jsonl(const std::string& path,
+                       const std::vector<SpanRecord>& spans,
+                       std::string* error = nullptr);
+
+/// The /debug/spans body: tracer state plus the `k` most recent and `k`
+/// slowest traces.
+std::string to_debug_json(const Tracer& tracer, std::size_t k);
+
+}  // namespace ipfsmon::obs

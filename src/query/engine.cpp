@@ -6,6 +6,7 @@
 
 #include "analysis/popularity.hpp"
 #include "obs/exporters.hpp"
+#include "obs/span_export.hpp"
 #include "tracestore/bloom.hpp"
 #include "util/strings.hpp"
 
@@ -108,6 +109,21 @@ std::uint64_t hash_str(std::uint64_t seed, std::string_view text) {
       seed);
 }
 
+/// Collapses request paths onto a bounded label set for the per-endpoint
+/// latency histograms (peer ids would explode the cardinality).
+std::string endpoint_label(const std::string& path) {
+  if (path == "/healthz" || path == "/metrics" || path == "/v1/stats" ||
+      path == "/v1/popularity" || path == "/v1/segments" ||
+      path == "/debug/spans") {
+    return path;
+  }
+  const std::string_view prefix = "/v1/peers/";
+  if (path.compare(0, std::min(path.size(), prefix.size()), prefix) == 0) {
+    return "/v1/peers/*";
+  }
+  return "other";
+}
+
 }  // namespace
 
 std::string_view to_string(StatsSource source) {
@@ -124,6 +140,7 @@ QueryService::QueryService(QueryOptions options)
       executor_(options_.scan_threads),
       cache_(options_.cache_capacity) {
   options_.store.obs = &obs_;
+  obs_.tracer.configure(options_.tracing);
 }
 
 std::unique_ptr<QueryService> QueryService::open(const std::string& dir,
@@ -217,11 +234,48 @@ RangeStats QueryService::stats_by_scan_locked(util::SimTime min_t,
   tracestore::ScanQuery scan_query;
   scan_query.min_time = min_t;
   scan_query.max_time = max_t;
-  executor_.scan(*store_, scan_query,
-                 [&out](const trace::TraceEntry& entry) {
-                   add_entry(&out, entry);
-                 });
+  run_scan(scan_query, [&out](const trace::TraceEntry& entry) {
+    add_entry(&out, entry);
+  });
   return out;
+}
+
+tracestore::ScanStats QueryService::run_scan(
+    const tracestore::ScanQuery& query,
+    const std::function<void(const trace::TraceEntry&)>& visit) {
+  obs::Span span = obs_.tracer.start_span("query.scan", obs_.tracer.current());
+  tracestore::ScanProfile profile;
+  const bool profiled = span.active();
+  const tracestore::ScanStats stats =
+      executor_.scan(*store_, query, visit, profiled ? &profile : nullptr);
+  if (profiled) {
+    span.set_attr("segments_total",
+                  static_cast<std::uint64_t>(stats.segments_total));
+    span.set_attr("segments_scanned",
+                  static_cast<std::uint64_t>(stats.segments_scanned));
+    span.set_attr("pruned_time",
+                  static_cast<std::uint64_t>(stats.segments_pruned_time));
+    span.set_attr("pruned_bloom",
+                  static_cast<std::uint64_t>(stats.segments_pruned_bloom));
+    span.set_attr("entries_matched", stats.entries_matched);
+    obs_.tracer.add_span(
+        "scan.prune", span.context(), 0, 0,
+        {{"segments", std::to_string(stats.segments_total)},
+         {"pruned", std::to_string(stats.segments_pruned_time +
+                                   stats.segments_pruned_bloom)}},
+        profile.prune_start_us, profile.prune_end_us);
+    for (const auto& seg : profile.segments) {
+      obs_.tracer.add_span(
+          "scan.segment", span.context(), 0, 0,
+          {{"file", seg.file},
+           {"decode_us", std::to_string(seg.decode_us)},
+           {"match_us", std::to_string(seg.match_us)},
+           {"entries", std::to_string(seg.entries)},
+           {"matched", std::to_string(seg.matched)}},
+          seg.start_us, seg.end_us);
+    }
+  }
+  return stats;
 }
 
 RangeStats QueryService::stats_between_locked(util::SimTime min_t,
@@ -243,6 +297,13 @@ RangeStats QueryService::stats_between_locked(util::SimTime min_t,
       [&](std::size_t index,
           const std::vector<std::pair<util::SimTime, util::SimTime>>&
               windows) {
+        obs::Span dspan =
+            obs_.tracer.start_span("segment.decode", obs_.tracer.current());
+        if (dspan.active()) {
+          dspan.set_attr("file", store_->segments()[index].file);
+          dspan.set_attr("windows",
+                         static_cast<std::uint64_t>(windows.size()));
+        }
         auto reader =
             tracestore::SegmentReader::open(store_->segment_path(index));
         if (!reader) {
@@ -314,10 +375,42 @@ HttpResponse QueryService::handle(const HttpRequest& request) {
   obs_.metrics
       .counter("ipfsmon_query_http_requests_total", "HTTP requests routed")
       .inc();
+  const std::int64_t started_us = obs::wall_micros_now();
+  // Root of the request's trace; cache/scan/segment spans parent here via
+  // the scoped implicit context (safe: everything below holds mu_).
+  obs::Span span = obs_.tracer.start_trace("http.request");
+  HttpResponse response;
   if (request.method != "GET" && request.method != "HEAD") {
-    return error_response(405, "only GET is supported");
+    response = error_response(405, "only GET is supported");
+  } else {
+    if (span.active()) {
+      span.set_attr("method", request.method);
+      span.set_attr("path", request.path);
+      if (request.accepted_us > 0 && request.parsed_us >= request.accepted_us) {
+        // Accept→parse happened in the socket layer, before this span
+        // existed; attach it retroactively with the measured timestamps.
+        obs_.tracer.add_span("http.ingest", span.context(), 0, 0, {},
+                             request.accepted_us, request.parsed_us);
+      }
+    }
+    obs::ScopedContext scope(obs_.tracer, span.context());
+    response = route(request);
   }
-  return route(request);
+  const std::int64_t duration_us = obs::wall_micros_now() - started_us;
+  const std::string endpoint = endpoint_label(request.path);
+  obs_.metrics
+      .histogram("ipfsmon_query_http_duration_micros",
+                 obs::exponential_buckets(25.0, 2.0, 14),
+                 "request handling latency in microseconds, per endpoint",
+                 "endpoint=\"" + endpoint + "\"")
+      .observe(static_cast<double>(duration_us));
+  response.headers.emplace_back("X-Duration-Micros",
+                                std::to_string(duration_us));
+  if (span.active()) {
+    span.set_attr("endpoint", endpoint);
+    span.set_attr("status", static_cast<std::uint64_t>(response.status));
+  }
+  return response;
 }
 
 HttpResponse QueryService::route(const HttpRequest& request) {
@@ -327,6 +420,7 @@ HttpResponse QueryService::route(const HttpRequest& request) {
   if (path == "/v1/stats") return handle_stats(request);
   if (path == "/v1/popularity") return handle_popularity(request);
   if (path == "/v1/segments") return handle_segments();
+  if (path == "/debug/spans") return handle_debug_spans(request);
   const std::string_view prefix = "/v1/peers/";
   const std::string_view suffix = "/wants";
   if (path.size() > prefix.size() + suffix.size() &&
@@ -413,7 +507,14 @@ HttpResponse QueryService::cached(
 
   CachedResponse entry;
   bool hit = cache_.get(key, &entry);
+  if (obs_.tracer.current().valid()) {
+    obs_.tracer.add_span("query.cache", obs_.tracer.current(), 0, 0,
+                         {{"hit", hit ? "1" : "0"}});
+  }
   if (!hit) {
+    obs::Span render_span =
+        obs_.tracer.start_span("query.render", obs_.tracer.current());
+    obs::ScopedContext scope(obs_.tracer, render_span.context());
     entry = render();
     cache_.put(key, entry);
   }
@@ -445,6 +546,12 @@ HttpResponse QueryService::handle_stats(const HttpRequest& request) {
     const RangeStats stats =
         force_scan ? stats_by_scan_locked(min_t, max_t)
                    : stats_between_locked(min_t, max_t, &source);
+    if (obs_.tracer.current().valid()) {
+      // The rollup-vs-scan decision, visible inside the trace.
+      obs_.tracer.add_span("query.stats_source", obs_.tracer.current(), 0, 0,
+                           {{"source", std::string(to_string(source))},
+                            {"forced", force_scan ? "1" : "0"}});
+    }
     return CachedResponse{render_stats_json(stats, min_t, max_t),
                           "application/json",
                           std::string(to_string(source))};
@@ -478,10 +585,9 @@ HttpResponse QueryService::handle_popularity(const HttpRequest& request) {
     tracestore::ScanQuery scan_query;
     scan_query.min_time = min_t;
     scan_query.max_time = max_t;
-    executor_.scan(*store_, scan_query,
-                   [&accumulator](const trace::TraceEntry& entry) {
-                     accumulator.add(entry);
-                   });
+    run_scan(scan_query, [&accumulator](const trace::TraceEntry& entry) {
+      accumulator.add(entry);
+    });
     const analysis::PopularityScores scores = accumulator.scores();
 
     auto render_top =
@@ -537,8 +643,7 @@ HttpResponse QueryService::handle_peer_wants(const HttpRequest& request,
     scan_query.peers = {*peer};
     std::uint64_t total = 0;
     std::string wants = "[";
-    executor_.scan(*store_, scan_query,
-                   [&](const trace::TraceEntry& entry) {
+    run_scan(scan_query, [&](const trace::TraceEntry& entry) {
                      if (total++ >= limit) return;
                      if (wants.size() > 1) wants += ',';
                      wants += util::format(
@@ -587,6 +692,33 @@ HttpResponse QueryService::handle_segments() {
   body += "]}";
   HttpResponse response;
   response.body = std::move(body);
+  return response;
+}
+
+HttpResponse QueryService::handle_debug_spans(const HttpRequest& request) {
+  // Deliberately uncached: the span buffer changes with every request.
+  std::uint64_t k = options_.debug_span_limit;
+  if (const auto it = request.params.find("k"); it != request.params.end()) {
+    if (!parse_u64(it->second, &k) || k == 0 || k > 1000) {
+      return error_response(400, "k must be in [1, 1000]");
+    }
+  }
+  HttpResponse response;
+  if (const auto it = request.params.find("format");
+      it != request.params.end()) {
+    if (it->second == "perfetto") {
+      const auto spans = obs_.tracer.snapshot();
+      response.body = obs::to_perfetto_json(spans, obs::has_sim_times(spans));
+    } else if (it->second == "jsonl") {
+      response.body = obs::to_spans_jsonl(obs_.tracer.snapshot());
+      response.content_type = "application/x-ndjson";
+    } else {
+      return error_response(400, "format must be perfetto or jsonl");
+    }
+    return response;
+  }
+  response.body =
+      obs::to_debug_json(obs_.tracer, static_cast<std::size_t>(k));
   return response;
 }
 

@@ -11,6 +11,9 @@
 //  * GET /v1/peers/<base58>/wants     one peer's want history (Bloom-pruned)
 //  * GET /v1/segments                 per-segment metadata incl. rollup
 //                                     distinct counts
+//  * GET /debug/spans                 recent + slowest request traces
+//                                     (?format=perfetto|jsonl for export);
+//                                     uncached, empty unless tracing is on
 //
 // Serving strategy for /v1/stats: segments fully inside the requested range
 // are answered from their rollup sidecar totals; partially covered segments
@@ -58,6 +61,12 @@ struct QueryOptions {
   bool use_rollups = true;
   /// ScanExecutor threads; 0 = hardware concurrency.
   std::size_t scan_threads = 0;
+  /// Span tracing for served requests (inert by default). When enabled,
+  /// every sampled request produces an http.request trace with cache,
+  /// rollup/scan, and per-segment child spans, served on /debug/spans.
+  obs::TracerConfig tracing;
+  /// Default trace count for /debug/spans recent/slowest lists.
+  std::size_t debug_span_limit = 20;
 };
 
 /// Request-type/flag counts over a time range — the /v1/stats payload.
@@ -131,6 +140,14 @@ class QueryService {
   HttpResponse handle_peer_wants(const HttpRequest& request,
                                  const std::string& peer_text);
   HttpResponse handle_segments();
+  HttpResponse handle_debug_spans(const HttpRequest& request);
+
+  /// Runs a scan under a "query.scan" span; when the current request is
+  /// sampled, collects a ScanProfile and emits scan.prune / scan.segment
+  /// child spans with decode/match sub-timings.
+  tracestore::ScanStats run_scan(
+      const tracestore::ScanQuery& query,
+      const std::function<void(const trace::TraceEntry&)>& visit);
 
   /// Serves from cache or renders via `render` and caches the result.
   HttpResponse cached(const HttpRequest& request,

@@ -32,6 +32,13 @@ struct HttpRequest {
   std::map<std::string, std::string> params;  // decoded query parameters
   std::string body;
 
+  /// Socket-layer timing metadata in obs::wall_micros_now() microseconds,
+  /// filled by the server (not the parser): when the connection/request
+  /// was accepted and when parsing completed. 0 = unknown (requests built
+  /// directly by tests/benches). Feeds the http.ingest span.
+  std::int64_t accepted_us = 0;
+  std::int64_t parsed_us = 0;
+
   /// First header value by lowercase name; nullptr when absent.
   const std::string* header(std::string_view name) const;
   /// HTTP/1.1 defaults to keep-alive; "Connection: close" (or 1.0) opts out.

@@ -10,6 +10,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/span.hpp"
+
 namespace ipfsmon::query {
 
 namespace {
@@ -141,7 +143,7 @@ void HttpServer::accept_loop() {
     {
       std::lock_guard<std::mutex> lock(queue_mutex_);
       if (pending_.size() < options_.accept_queue_limit) {
-        pending_.push_back(fd);
+        pending_.push_back(PendingConn{fd, obs::wall_micros_now()});
         in_flight_.fetch_add(1);
         admitted = true;
       }
@@ -165,22 +167,26 @@ void HttpServer::accept_loop() {
 
 void HttpServer::worker_loop() {
   for (;;) {
-    int fd = -1;
+    PendingConn conn;
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
       queue_ready_.wait(lock, [this] {
         return !pending_.empty() || stopping_.load();
       });
       if (pending_.empty()) return;  // stopping and drained
-      fd = pending_.front();
+      conn = pending_.front();
       pending_.pop_front();
     }
-    serve_connection(fd);
+    serve_connection(conn);
     in_flight_.fetch_sub(1);
   }
 }
 
-void HttpServer::serve_connection(int fd) {
+void HttpServer::serve_connection(PendingConn conn) {
+  const int fd = conn.fd;
+  // First request on the connection dates from accept; each keep-alive
+  // successor dates from the end of the previous response.
+  std::int64_t request_epoch_us = conn.accepted_us;
   set_io_timeouts(fd, options_.io_timeout_ms);
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -217,6 +223,8 @@ void HttpServer::serve_connection(int fd) {
         break;
       }
       buffer.erase(0, consumed);
+      request.accepted_us = request_epoch_us;
+      request.parsed_us = obs::wall_micros_now();
       const HttpResponse response = handler_(request);
       const bool keep_alive = request.keep_alive() &&
                               ++served < options_.max_requests_per_connection &&
@@ -231,6 +239,7 @@ void HttpServer::serve_connection(int fd) {
         close_connection = true;
         break;
       }
+      request_epoch_us = obs::wall_micros_now();
     }
     if (close_connection) break;
 

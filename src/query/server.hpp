@@ -83,9 +83,16 @@ class HttpServer {
   std::size_t in_flight() const { return in_flight_.load(); }
 
  private:
+  /// An accepted connection plus its accept timestamp, which seeds the
+  /// HttpRequest accepted_us/parsed_us metadata (span tracing).
+  struct PendingConn {
+    int fd = -1;
+    std::int64_t accepted_us = 0;
+  };
+
   void accept_loop();
   void worker_loop();
-  void serve_connection(int fd);
+  void serve_connection(PendingConn conn);
 
   ServerOptions options_;
   Handler handler_;
@@ -100,7 +107,7 @@ class HttpServer {
 
   std::mutex queue_mutex_;
   std::condition_variable queue_ready_;
-  std::deque<int> pending_;  // accepted fds awaiting a worker
+  std::deque<PendingConn> pending_;  // accepted fds awaiting a worker
 
   std::atomic<std::size_t> in_flight_{0};
   std::atomic<std::uint64_t> connections_accepted_{0};

@@ -4,12 +4,17 @@
 #include <chrono>
 #include <cstdio>
 
+#include "obs/span_export.hpp"
+
 namespace ipfsmon::scenario {
 
 MonitoringStudy::MonitoringStudy(StudyConfig config)
     : config_(std::move(config)), rng_(config_.seed, "study") {
   network_ = std::make_unique<net::Network>(
       scheduler_, net::GeoDatabase::standard(), config_.seed);
+  // Only when enabled: with the default (inert) config no tracer state is
+  // allocated and runs stay byte-identical to untraced builds.
+  if (config_.tracing.enabled) network_->enable_tracing(config_.tracing);
   catalog_ = std::make_unique<ContentCatalog>(config_.catalog,
                                               rng_.fork("catalog"));
   population_ = std::make_unique<Population>(*network_, *catalog_,
@@ -141,6 +146,18 @@ void MonitoringStudy::run_warmup() {
 
 void MonitoringStudy::run_measurement(util::SimDuration duration) {
   run_span(scheduler_.now() + duration, "measurement");
+  if (config_.tracing.enabled && !config_.trace_export_base.empty()) {
+    const auto spans = network_->obs().tracer.snapshot();
+    std::string error;
+    const std::string json_path = config_.trace_export_base + ".spans.json";
+    const std::string jsonl_path = config_.trace_export_base + ".spans.jsonl";
+    if (!obs::write_perfetto_json(json_path, spans,
+                                  obs::has_sim_times(spans), &error) ||
+        !obs::write_spans_jsonl(jsonl_path, spans, &error)) {
+      std::fprintf(stderr, "[ipfsmon] span export failed: %s\n",
+                   error.c_str());
+    }
+  }
 }
 
 void MonitoringStudy::run_span(util::SimTime target, const char* label) {

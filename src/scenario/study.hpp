@@ -11,6 +11,7 @@
 #include "monitor/active_monitor.hpp"
 #include "monitor/passive_monitor.hpp"
 #include "obs/collector.hpp"
+#include "obs/span.hpp"
 #include "scenario/gateway_fleet.hpp"
 #include "scenario/population.hpp"
 #include "trace/preprocess.hpp"
@@ -63,6 +64,17 @@ struct StudyConfig {
   /// default so library users stay silent.
   bool progress_heartbeat = false;
   util::SimDuration heartbeat_interval = 6 * util::kHour;
+
+  /// Causal span tracing (src/obs/span.hpp). When tracing.enabled, sampled
+  /// gateway requests produce end-to-end traces — gateway.request →
+  /// dht.find_providers → dht.rpc / bitswap.fetch → monitor.capture — via
+  /// net::Network::enable_tracing. Inert by default: no RNG draws, no
+  /// allocations, byte-identical to untraced runs.
+  obs::TracerConfig tracing;
+  /// When non-empty (and tracing is enabled), each run_measurement() call
+  /// exports the buffered spans to <base>.spans.json (Perfetto JSON) and
+  /// <base>.spans.jsonl when it completes.
+  std::string trace_export_base;
 
   CatalogConfig catalog;
   PopulationConfig population;

@@ -48,6 +48,15 @@ class Scheduler {
 
   util::SimTime now() const { return now_; }
 
+  /// Installs a wrapper applied to every subsequently scheduled event at
+  /// schedule time — the hook higher layers use to carry request context
+  /// (e.g. tracing) across timers without the scheduler knowing about
+  /// them. Events scheduled before installation run unwrapped; pass an
+  /// empty function to remove.
+  void set_event_wrapper(std::function<EventFn(EventFn)> wrapper) {
+    wrapper_ = std::move(wrapper);
+  }
+
   /// Schedules `fn` to run at absolute time `when` (clamped to now).
   EventHandle schedule_at(util::SimTime when, EventFn fn);
 
@@ -87,6 +96,7 @@ class Scheduler {
   };
 
   util::SimTime now_ = 0;
+  std::function<EventFn(EventFn)> wrapper_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
   std::uint64_t cancelled_ = 0;

@@ -7,6 +7,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/span.hpp"
+
 namespace ipfsmon::tracestore {
 
 bool ScanQuery::matches(const trace::TraceEntry& entry) const {
@@ -56,7 +58,8 @@ Prune prune_decision(const SegmentFooter& footer, const ScanQuery& query,
 
 ScanStats ScanExecutor::scan(
     const TraceStore& store, const ScanQuery& query,
-    const std::function<void(const trace::TraceEntry&)>& visit) const {
+    const std::function<void(const trace::TraceEntry&)>& visit,
+    ScanProfile* profile) const {
   ScanStats stats;
   const std::size_t n = store.segments().size();
   stats.segments_total = n;
@@ -77,34 +80,61 @@ ScanStats ScanExecutor::scan(
     trace::Trace matches;
     std::string error;  // non-empty: segment skipped
     bool done = false;
+    SegmentScanProfile profile;  // filled only when profiling
   };
   std::vector<Slot> slots(n);
   std::vector<Prune> pruned(n, Prune::kNone);
+  if (profile != nullptr) profile->prune_start_us = obs::wall_micros_now();
   for (std::size_t i = 0; i < n; ++i) {
     pruned[i] =
         prune_decision(store.segments()[i].footer, query, peer_hashes,
                        cid_hashes);
   }
+  if (profile != nullptr) profile->prune_end_us = obs::wall_micros_now();
 
   std::mutex mutex;
   std::condition_variable ready;
   std::atomic<std::size_t> next{0};
+  const bool profiling = profile != nullptr;
   auto worker = [&]() {
     for (;;) {
       const std::size_t i = next.fetch_add(1);
       if (i >= n) return;
       Slot local;
       if (pruned[i] == Prune::kNone) {
+        if (profiling) {
+          local.profile.segment = i;
+          local.profile.file = store.segments()[i].file;
+          local.profile.start_us = obs::wall_micros_now();
+        }
         std::string error;
         auto reader = SegmentReader::open(store.segment_path(i), &error);
         if (!reader) {
           local.error = error;
+        } else if (profiling) {
+          // Profiled decode: clock each next()/matches() pair. The extra
+          // clock reads only happen on this branch, so unprofiled scans
+          // pay nothing.
+          trace::TraceEntry entry;
+          std::int64_t t0 = obs::wall_micros_now();
+          while (reader->next(entry)) {
+            const std::int64_t t1 = obs::wall_micros_now();
+            local.profile.decode_us += t1 - t0;
+            ++local.profile.entries;
+            const bool hit = query.matches(entry);
+            if (hit) local.matches.append(entry);
+            t0 = obs::wall_micros_now();
+            local.profile.match_us += t0 - t1;
+            if (hit) ++local.profile.matched;
+          }
+          local.profile.decode_us += obs::wall_micros_now() - t0;
         } else {
           trace::TraceEntry entry;
           while (reader->next(entry)) {
             if (query.matches(entry)) local.matches.append(entry);
           }
         }
+        if (profiling) local.profile.end_us = obs::wall_micros_now();
       }
       {
         std::lock_guard<std::mutex> lock(mutex);
@@ -142,6 +172,7 @@ ScanStats ScanExecutor::scan(
       continue;
     }
     ++stats.segments_scanned;
+    if (profiling) profile->segments.push_back(std::move(slot.profile));
     for (const auto& entry : slot.matches.entries()) {
       visit(entry);
       ++stats.entries_matched;

@@ -35,6 +35,32 @@ struct ScanStats {
   std::uint64_t entries_matched = 0;
 };
 
+/// Wall-clock timing of one decoded segment within a profiled scan.
+/// Timestamps are obs::wall_micros_now() microseconds, so callers can
+/// turn each row directly into a span.
+struct SegmentScanProfile {
+  std::size_t segment = 0;
+  std::string file;
+  std::int64_t start_us = 0;
+  std::int64_t end_us = 0;
+  /// Time inside SegmentReader::next (decode) vs. ScanQuery::matches.
+  std::int64_t decode_us = 0;
+  std::int64_t match_us = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t matched = 0;
+};
+
+/// Optional breakdown of a scan() call, filled only when requested — the
+/// per-entry clock reads it needs are skipped entirely on unprofiled
+/// scans, keeping the default path fast.
+struct ScanProfile {
+  /// The single pass that applies footer time-range + Bloom pruning.
+  std::int64_t prune_start_us = 0;
+  std::int64_t prune_end_us = 0;
+  /// Decoded (not pruned) segments, in segment order.
+  std::vector<SegmentScanProfile> segments;
+};
+
 class ScanExecutor {
  public:
   /// `threads` = 0 picks the hardware concurrency (at least 1).
@@ -42,10 +68,11 @@ class ScanExecutor {
 
   /// Runs `query` over `store`, calling `visit` on the consumer thread for
   /// every matching entry, in segment order. Skipped-as-corrupt segments
-  /// go through store.warn() like the streaming readers.
+  /// go through store.warn() like the streaming readers. Pass a profile
+  /// to collect per-segment decode/match sub-timings (span tracing).
   ScanStats scan(const TraceStore& store, const ScanQuery& query,
-                 const std::function<void(const trace::TraceEntry&)>& visit)
-      const;
+                 const std::function<void(const trace::TraceEntry&)>& visit,
+                 ScanProfile* profile = nullptr) const;
 
   std::size_t threads() const { return threads_; }
 
