@@ -47,6 +47,11 @@ class Flags {
                                : std::strtoull(it->second.c_str(), nullptr, 10);
   }
 
+  std::string get_str(const std::string& key, std::string fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
   bool has(const std::string& key) const { return values_.count(key) != 0; }
 
  private:

@@ -1,29 +1,64 @@
-// exp_query_throughput — serving performance of the trace query daemon.
+// exp_query_throughput — raw scan bandwidth and serving performance of the
+// trace query path.
 //
-// Builds a synthetic trace store, starts the query service in-process on an
-// ephemeral loopback port, and drives it with N concurrent client threads
-// issuing a mixed endpoint workload (range stats on the rollup path, forced
-// cold scans, health checks). Reports requests/s and p50/p99/max latency
-// per workload, and writes a BENCH_query.json artifact so the perf
-// trajectory accumulates across revisions.
+// Part 1 (scan engine): builds a synthetic multi-segment store and measures
+// full-store and watchlist scans directly against TraceStore + ScanExecutor,
+// cold (page cache dropped per iteration via posix_fadvise) and warm, under
+// two configurations:
+//   before — the pre-zero-copy path: buffered whole-file reads, body
+//            checksum re-verified on every open, per-entry hash-set
+//            matching, threads spawned per scan;
+//   after  — the current path: mmap'd segments, validation cache, the
+//            persistent scan pool, and dictionary-id matching.
+// Reports MB/s (segment body bytes decoded) and entries/s per sweep, plus a
+// multi-process mode forking N readers over the same store directory.
+//
+// Part 2 (HTTP daemon): starts the query service in-process on an ephemeral
+// loopback port and drives it with N concurrent clients issuing a mixed
+// endpoint workload. Reports requests/s and p50/p99/max latency.
+//
+// Everything lands in BENCH_query.json (schema in EXPERIMENTS.md) so the
+// perf trajectory accumulates across revisions.
 //
 // Flags: --entries=N --clients=N --requests=N (per client) --workers=N
-//        --cache=N
+//        --cache=N --readers=N (multi-process scanners) --smoke
+//        --floor=path (smoke baseline, default bench/query_smoke_floor.json)
+//
+// --smoke runs only the warm watchlist scan on a small store and fails
+// (exit 1) when entries/s drops below half the committed floor — the >2x
+// regression gate wired into scripts/check.sh --perf-smoke.
 #include <algorithm>
 #include <atomic>
+#include <cstring>
+#include <fstream>
+#include <sstream>
 #include <thread>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
 
 #include "bench_common.hpp"
 #include "query/client.hpp"
 #include "query/engine.hpp"
 #include "query/server.hpp"
+#include "tracestore/scan.hpp"
 #include "tracestore/store.hpp"
 #include "util/rng.hpp"
 
 using namespace ipfsmon;
 
 namespace {
+
+crypto::PeerId bench_peer(std::uint64_t index) {
+  crypto::PeerId::Digest digest{};
+  digest[0] = static_cast<std::uint8_t>(index);
+  digest[1] = static_cast<std::uint8_t>(index >> 8);
+  return crypto::PeerId(digest);
+}
 
 trace::Trace make_trace(std::size_t n, std::uint64_t seed) {
   util::RngStream rng(seed, "query-bench");
@@ -33,11 +68,8 @@ trace::Trace make_trace(std::size_t n, std::uint64_t seed) {
     ts += rng.uniform_index(2 * util::kSecond);
     trace::TraceEntry e;
     e.timestamp = ts;
-    crypto::PeerId::Digest digest{};
     const auto peer = rng.uniform_index(4000);
-    digest[0] = static_cast<std::uint8_t>(peer);
-    digest[1] = static_cast<std::uint8_t>(peer >> 8);
-    e.peer = crypto::PeerId(digest);
+    e.peer = bench_peer(peer);
     e.address =
         net::Address{0x0a000001u + static_cast<std::uint32_t>(peer), 4001};
     e.cid = cid::Cid::of_data(
@@ -54,6 +86,214 @@ trace::Trace make_trace(std::size_t n, std::uint64_t seed) {
   }
   return t;
 }
+
+// --- Scan sweeps -------------------------------------------------------------
+
+struct SweepResult {
+  std::string name;
+  double seconds = 0;
+  std::uint64_t entries = 0;  // decoded (pre-predicate)
+  std::uint64_t bytes = 0;    // segment body bytes decoded
+  std::uint64_t matched = 0;
+
+  double entries_per_s() const { return seconds > 0 ? entries / seconds : 0; }
+  double mb_per_s() const {
+    return seconds > 0 ? bytes / seconds / 1e6 : 0;
+  }
+};
+
+/// Asks the kernel to evict the store's segment files from the page cache,
+/// emulating a cold first scan without root.
+void drop_page_cache(const tracestore::TraceStore& store) {
+#if defined(__unix__) || defined(__APPLE__)
+  for (std::size_t i = 0; i < store.segments().size(); ++i) {
+    const int fd = ::open(store.segment_path(i).c_str(), O_RDONLY);
+    if (fd < 0) continue;
+#if defined(POSIX_FADV_DONTNEED)
+    ::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
+#endif
+    ::close(fd);
+  }
+#endif
+}
+
+/// Reproduces the pre-refactor scan path: one thread spawn per scan call,
+/// buffered whole-file reads, body checksum verified on every open, and
+/// ScanQuery::matches (hash-set probes) on every decoded entry.
+SweepResult legacy_scan(const tracestore::TraceStore& store,
+                        const tracestore::ScanQuery& query, bool cold,
+                        int repeats) {
+  SweepResult result;
+  tracestore::SegmentOpenOptions open_options;
+  open_options.backend = tracestore::IoBackend::kBuffered;
+  open_options.validated = nullptr;
+  const std::size_t threads =
+      std::max(1u, std::thread::hardware_concurrency());
+  bench::Stopwatch watch;
+  for (int rep = 0; rep < repeats; ++rep) {
+    if (cold) drop_page_cache(store);
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::uint64_t> entries{0}, bytes{0}, matched{0};
+    auto worker = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= store.segments().size()) return;
+        auto reader =
+            tracestore::SegmentReader::open(store.segment_path(i),
+                                            open_options);
+        if (!reader) continue;
+        std::uint64_t n = 0, hit = 0;
+        trace::TraceEntry e;
+        while (reader->next(e)) {
+          ++n;
+          if (query.matches(e)) ++hit;
+        }
+        entries.fetch_add(n);
+        matched.fetch_add(hit);
+        bytes.fetch_add(reader->footer().body_bytes);
+      }
+    };
+    std::vector<std::thread> pool;
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+    result.entries += entries.load();
+    result.bytes += bytes.load();
+    result.matched += matched.load();
+  }
+  result.seconds = watch.seconds();
+  return result;
+}
+
+/// The current path: persistent pool, mmap, validation cache,
+/// dictionary-id matching — whatever `store` was opened with.
+SweepResult modern_scan(const tracestore::TraceStore& store,
+                        const tracestore::ScanQuery& query, bool cold,
+                        int repeats) {
+  SweepResult result;
+  const tracestore::ScanExecutor executor;  // store's shared pool
+  bench::Stopwatch watch;
+  for (int rep = 0; rep < repeats; ++rep) {
+    if (cold) drop_page_cache(store);
+    const tracestore::ScanStats stats =
+        executor.scan(store, query, [](const trace::TraceEntry&) {});
+    result.entries += stats.entries_decoded;
+    result.bytes += stats.bytes_scanned;
+    result.matched += stats.entries_matched;
+  }
+  result.seconds = watch.seconds();
+  return result;
+}
+
+struct MultiProcResult {
+  int readers = 0;
+  double seconds = 0;
+  double entries_per_s = 0;
+  double mb_per_s = 0;
+  bool ran = false;
+};
+
+/// Forks `readers` child processes, each opening the shared store
+/// directory independently and running `repeats` warm full scans — the
+/// multiple-analysts-one-store shape. Must run before any server threads
+/// start (fork safety).
+MultiProcResult run_multiprocess(const std::string& dir,
+                                 const tracestore::StoreOptions& options,
+                                 int readers, int repeats) {
+  MultiProcResult result;
+  result.readers = readers;
+#if defined(__unix__) || defined(__APPLE__)
+  int fds[2];
+  if (::pipe(fds) != 0) return result;
+  bench::Stopwatch watch;
+  std::vector<pid_t> pids;
+  for (int r = 0; r < readers; ++r) {
+    const pid_t pid = ::fork();
+    if (pid < 0) break;
+    if (pid == 0) {
+      ::close(fds[0]);
+      std::uint64_t entries = 0, bytes = 0;
+      auto store = tracestore::TraceStore::open(dir, options);
+      if (store) {
+        const tracestore::ScanExecutor executor;
+        for (int rep = 0; rep < repeats; ++rep) {
+          const tracestore::ScanStats stats = executor.scan(
+              *store, tracestore::ScanQuery{},
+              [](const trace::TraceEntry&) {});
+          entries += stats.entries_decoded;
+          bytes += stats.bytes_scanned;
+        }
+      }
+      char line[64];
+      const int len =
+          std::snprintf(line, sizeof(line), "%llu %llu\n",
+                        static_cast<unsigned long long>(entries),
+                        static_cast<unsigned long long>(bytes));
+      if (len > 0) {
+        const char* p = line;
+        std::size_t left = static_cast<std::size_t>(len);
+        while (left > 0) {
+          const ssize_t wrote = ::write(fds[1], p, left);
+          if (wrote <= 0) break;
+          p += wrote;
+          left -= static_cast<std::size_t>(wrote);
+        }
+      }
+      ::close(fds[1]);
+      ::_exit(0);
+    }
+    pids.push_back(pid);
+  }
+  ::close(fds[1]);
+  std::string collected;
+  char buf[256];
+  for (;;) {
+    const ssize_t n = ::read(fds[0], buf, sizeof(buf));
+    if (n <= 0) break;
+    collected.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fds[0]);
+  for (const pid_t pid : pids) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+  result.seconds = watch.seconds();
+  std::uint64_t entries = 0, bytes = 0;
+  std::istringstream lines(collected);
+  std::uint64_t e = 0, b = 0;
+  while (lines >> e >> b) {
+    entries += e;
+    bytes += b;
+  }
+  if (result.seconds > 0 && !pids.empty()) {
+    result.entries_per_s = entries / result.seconds;
+    result.mb_per_s = bytes / result.seconds / 1e6;
+    result.ran = entries > 0;
+  }
+#else
+  (void)dir;
+  (void)options;
+  (void)repeats;
+#endif
+  return result;
+}
+
+/// Reads the committed smoke floor (entries/s for the warm watchlist
+/// scan). Zero when the file is missing or unparsable.
+double read_smoke_floor(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return 0;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  const std::string key = "\"warm_scan_entries_per_s\"";
+  const auto at = text.find(key);
+  if (at == std::string::npos) return 0;
+  const auto colon = text.find(':', at + key.size());
+  if (colon == std::string::npos) return 0;
+  return std::strtod(text.c_str() + colon + 1, nullptr);
+}
+
+// --- HTTP workloads ----------------------------------------------------------
 
 struct WorkloadResult {
   std::string name;
@@ -115,20 +355,25 @@ WorkloadResult drive(const char* name, std::uint16_t port, int clients,
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
-  const auto entries = flags.get_u64("entries", 200000);
+  const bool smoke = flags.has("smoke");
+  const auto entries = flags.get_u64("entries", smoke ? 60000 : 200000);
   const int clients = static_cast<int>(flags.get_u64("clients", 8));
   const int per_client = static_cast<int>(flags.get_u64("requests", 200));
+  const int readers = static_cast<int>(flags.get_u64("readers", 4));
   const std::string dir = "/tmp/ipfsmon_bench_query_store";
 
   bench::print_header("exp_query_throughput",
-                      "query daemon serving performance (loopback)");
+                      "scan bandwidth + query daemon serving performance");
   bench::Stopwatch total;
 
   std::printf("building synthetic store: %llu entries -> %s\n",
               static_cast<unsigned long long>(entries), dir.c_str());
   const trace::Trace t = make_trace(entries, 7);
+  tracestore::StoreOptions store_options;
+  // Many segments, so the pooled scan has parallelism to exploit.
+  store_options.max_entries_per_segment = 16384;
   {
-    auto writer = tracestore::SegmentWriter::create(dir);
+    auto writer = tracestore::SegmentWriter::create(dir, store_options);
     if (writer == nullptr) {
       std::fprintf(stderr, "cannot create %s\n", dir.c_str());
       return 1;
@@ -137,69 +382,194 @@ int main(int argc, char** argv) {
     if (!writer->finalize()) return 1;
   }
 
-  query::QueryOptions query_options;
-  query_options.cache_capacity = flags.get_u64("cache", 128);
-  auto service = query::QueryService::open(dir, query_options);
-  if (service == nullptr) {
+  // --- Part 1: scan engine sweeps (before any server threads exist) ---
+  tracestore::StoreOptions before_options = store_options;
+  before_options.io_backend = tracestore::IoBackend::kBuffered;
+  before_options.reuse_validation = false;
+  tracestore::StoreOptions after_options = store_options;
+  after_options.io_backend = tracestore::IoBackend::kAuto;
+  after_options.reuse_validation = true;
+
+  auto before_store = tracestore::TraceStore::open(dir, before_options);
+  auto after_store = tracestore::TraceStore::open(dir, after_options);
+  if (!before_store || !after_store) {
     std::fprintf(stderr, "cannot open %s\n", dir.c_str());
     return 1;
   }
-  query::ServerOptions server_options;
-  server_options.worker_threads = flags.get_u64("workers", 4);
-  query::HttpServer server(server_options,
-                           [&service](const query::HttpRequest& request) {
-                             return service->handle(request);
-                           });
-  std::string error;
-  if (!server.start(&error)) {
-    std::fprintf(stderr, "cannot start server: %s\n", error.c_str());
-    return 1;
+
+  tracestore::ScanQuery full_query;
+  tracestore::ScanQuery watchlist_query;
+  for (std::uint64_t p = 0; p < 64; ++p) {
+    watchlist_query.peers.insert(bench_peer(p));
   }
-  service->attach_server(&server);
-  std::printf("store: %zu segments, %zu rollups; serving on port %u with "
-              "%zu workers, %d clients x %d requests\n",
-              service->store().segments().size(), service->rollups_loaded(),
-              server.port(), server_options.worker_threads, clients,
-              per_client);
 
-  const util::SimTime lo = service->store().min_time();
-  const util::SimTime hi = service->store().max_time();
-  auto random_range = [lo, hi](util::RngStream& rng) {
-    const auto span = static_cast<std::uint64_t>(hi - lo + 1);
-    util::SimTime a = lo + static_cast<util::SimTime>(rng.uniform_index(span));
-    util::SimTime b = lo + static_cast<util::SimTime>(rng.uniform_index(span));
-    if (a > b) std::swap(a, b);
-    return util::format("?min_t=%lld&max_t=%lld", static_cast<long long>(a),
-                        static_cast<long long>(b));
+  const int cold_reps = smoke ? 0 : 2;
+  const int warm_reps = smoke ? 2 : 3;
+  std::vector<SweepResult> sweeps;
+  const auto run_pair = [&](const std::string& workload,
+                            const tracestore::ScanQuery& query, bool cold,
+                            int reps) {
+    if (reps == 0) return;
+    const std::string mode = cold ? "cold" : "warm";
+    if (!smoke) {
+      SweepResult before = legacy_scan(*before_store, query, cold, reps);
+      before.name = workload + "/" + mode + "/before";
+      sweeps.push_back(before);
+    }
+    // Warm the pages and validation cache once, untimed, so a warm sweep
+    // measures steady state.
+    if (!cold) modern_scan(*after_store, query, false, 1);
+    SweepResult after = modern_scan(*after_store, query, cold, reps);
+    after.name = workload + "/" + mode + "/after";
+    sweeps.push_back(after);
   };
+  run_pair("full", full_query, true, cold_reps);
+  run_pair("full", full_query, false, warm_reps);
+  run_pair("watchlist", watchlist_query, true, cold_reps);
+  run_pair("watchlist", watchlist_query, false, warm_reps);
 
+  bench::print_section("scan sweeps (store -> visitor, no HTTP)");
+  std::printf("  %-24s %10s %12s %12s %10s\n", "sweep", "MB/s", "entries/s",
+              "matched", "seconds");
+  const auto find_sweep = [&](const std::string& name) -> const SweepResult* {
+    for (const auto& s : sweeps) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  };
+  for (const auto& s : sweeps) {
+    std::printf("  %-24s %10.1f %12.0f %12llu %10.3f\n", s.name.c_str(),
+                s.mb_per_s(), s.entries_per_s(),
+                static_cast<unsigned long long>(s.matched), s.seconds);
+  }
+  double warm_speedup = 0;
+  {
+    const SweepResult* before = find_sweep("watchlist/warm/before");
+    const SweepResult* after = find_sweep("watchlist/warm/after");
+    if (before != nullptr && after != nullptr &&
+        before->entries_per_s() > 0) {
+      warm_speedup = after->entries_per_s() / before->entries_per_s();
+      std::printf("  warm watchlist speedup (after/before): %.2fx\n",
+                  warm_speedup);
+    }
+  }
+
+  int exit_code = 0;
+  if (smoke) {
+    // Regression gate: warm watchlist entries/s against the committed
+    // floor. Fails only on a >2x drop, so machine-to-machine variance
+    // does not flake the gate.
+    const SweepResult* after = find_sweep("watchlist/warm/after");
+    const std::string floor_path =
+        flags.get_str("floor", "bench/query_smoke_floor.json");
+    const double floor = read_smoke_floor(floor_path);
+    const double measured = after != nullptr ? after->entries_per_s() : 0;
+    bench::print_section("perf smoke gate");
+    if (floor <= 0) {
+      std::printf("  no usable floor at %s; measured %.0f entries/s "
+                  "(gate skipped)\n",
+                  floor_path.c_str(), measured);
+    } else if (measured < floor / 2) {
+      std::printf("  FAIL: %.0f entries/s < floor/2 (%.0f/2 = %.0f)\n",
+                  measured, floor, floor / 2);
+      exit_code = 1;
+    } else {
+      std::printf("  ok: %.0f entries/s >= floor/2 (%.0f/2 = %.0f)\n",
+                  measured, floor, floor / 2);
+    }
+  }
+
+  MultiProcResult multiproc;
+  if (!smoke) {
+    multiproc = run_multiprocess(dir, after_options, readers, 2);
+    if (multiproc.ran) {
+      bench::print_section("multi-process readers (one shared store dir)");
+      std::printf("  %d processes: %.1f MB/s aggregate, %.0f entries/s, "
+                  "%.3f s\n",
+                  multiproc.readers, multiproc.mb_per_s,
+                  multiproc.entries_per_s, multiproc.seconds);
+    }
+  }
+
+  // --- Part 2: HTTP daemon workloads ---
   std::vector<WorkloadResult> results;
-  results.push_back(drive("healthz", server.port(), clients, per_client,
-                          [](util::RngStream&) {
-                            return std::string("/healthz");
-                          }));
-  results.push_back(drive("stats_rollup", server.port(), clients, per_client,
-                          [&](util::RngStream& rng) {
-                            return "/v1/stats" + random_range(rng);
-                          }));
-  results.push_back(drive("stats_cached", server.port(), clients, per_client,
-                          [](util::RngStream&) {
-                            return std::string("/v1/stats");
-                          }));
-  results.push_back(drive("stats_cold_scan", server.port(), clients,
-                          std::max(1, per_client / 10),
-                          [&](util::RngStream& rng) {
-                            return "/v1/stats" + random_range(rng) +
-                                   "&force=scan";
-                          }));
+  std::size_t segments = after_store->segments().size();
+  std::size_t rollups_loaded = 0;
+  std::size_t worker_threads = flags.get_u64("workers", 4);
+  if (!smoke) {
+    // Release the bench-side stores before the service opens its own view.
+    before_store.reset();
+    after_store.reset();
 
-  bench::print_section("results");
-  std::printf("  %-16s %10s %9s %9s %9s %9s %6s\n", "workload", "req/s",
-              "p50 ms", "p99 ms", "max ms", "total", "fail");
-  for (const auto& r : results) {
-    std::printf("  %-16s %10.0f %9.3f %9.3f %9.3f %9zu %6zu\n",
-                r.name.c_str(), r.rps(), r.p50_ms, r.p99_ms, r.max_ms,
-                r.requests, r.failures);
+    query::QueryOptions query_options;
+    query_options.cache_capacity = flags.get_u64("cache", 128);
+    query_options.store.max_entries_per_segment =
+        store_options.max_entries_per_segment;
+    auto service = query::QueryService::open(dir, query_options);
+    if (service == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", dir.c_str());
+      return 1;
+    }
+    query::ServerOptions server_options;
+    server_options.worker_threads = worker_threads;
+    query::HttpServer server(server_options,
+                             [&service](const query::HttpRequest& request) {
+                               return service->handle(request);
+                             });
+    std::string error;
+    if (!server.start(&error)) {
+      std::fprintf(stderr, "cannot start server: %s\n", error.c_str());
+      return 1;
+    }
+    service->attach_server(&server);
+    segments = service->store().segments().size();
+    rollups_loaded = service->rollups_loaded();
+    std::printf("store: %zu segments, %zu rollups; serving on port %u with "
+                "%zu workers, %d clients x %d requests\n",
+                segments, rollups_loaded, server.port(),
+                server_options.worker_threads, clients, per_client);
+
+    const util::SimTime lo = service->store().min_time();
+    const util::SimTime hi = service->store().max_time();
+    auto random_range = [lo, hi](util::RngStream& rng) {
+      const auto span = static_cast<std::uint64_t>(hi - lo + 1);
+      util::SimTime a =
+          lo + static_cast<util::SimTime>(rng.uniform_index(span));
+      util::SimTime b =
+          lo + static_cast<util::SimTime>(rng.uniform_index(span));
+      if (a > b) std::swap(a, b);
+      return util::format("?min_t=%lld&max_t=%lld", static_cast<long long>(a),
+                          static_cast<long long>(b));
+    };
+
+    results.push_back(drive("healthz", server.port(), clients, per_client,
+                            [](util::RngStream&) {
+                              return std::string("/healthz");
+                            }));
+    results.push_back(drive("stats_rollup", server.port(), clients,
+                            per_client, [&](util::RngStream& rng) {
+                              return "/v1/stats" + random_range(rng);
+                            }));
+    results.push_back(drive("stats_cached", server.port(), clients,
+                            per_client, [](util::RngStream&) {
+                              return std::string("/v1/stats");
+                            }));
+    results.push_back(drive("stats_cold_scan", server.port(), clients,
+                            std::max(1, per_client / 10),
+                            [&](util::RngStream& rng) {
+                              return "/v1/stats" + random_range(rng) +
+                                     "&force=scan";
+                            }));
+
+    bench::print_section("results");
+    std::printf("  %-16s %10s %9s %9s %9s %9s %6s\n", "workload", "req/s",
+                "p50 ms", "p99 ms", "max ms", "total", "fail");
+    for (const auto& r : results) {
+      std::printf("  %-16s %10.0f %9.3f %9.3f %9.3f %9zu %6zu\n",
+                  r.name.c_str(), r.rps(), r.p50_ms, r.p99_ms, r.max_ms,
+                  r.requests, r.failures);
+    }
+    server.stop();
   }
 
   const std::string artifact = "BENCH_query.json";
@@ -211,10 +581,28 @@ int main(int argc, char** argv) {
   std::fprintf(out,
                "{\"bench\":\"query_throughput\",\"entries\":%llu,"
                "\"segments\":%zu,\"clients\":%d,\"workers\":%zu,"
-               "\"workloads\":[",
-               static_cast<unsigned long long>(entries),
-               service->store().segments().size(), clients,
-               server_options.worker_threads);
+               "\"smoke\":%s,\"scan\":{\"sweeps\":[",
+               static_cast<unsigned long long>(entries), segments, clients,
+               worker_threads, smoke ? "true" : "false");
+  for (std::size_t i = 0; i < sweeps.size(); ++i) {
+    const auto& s = sweeps[i];
+    std::fprintf(out,
+                 "%s{\"name\":\"%s\",\"mb_per_s\":%.2f,"
+                 "\"entries_per_s\":%.1f,\"matched\":%llu,"
+                 "\"seconds\":%.4f}",
+                 i == 0 ? "" : ",", s.name.c_str(), s.mb_per_s(),
+                 s.entries_per_s(),
+                 static_cast<unsigned long long>(s.matched), s.seconds);
+  }
+  std::fprintf(out, "],\"warm_watchlist_speedup\":%.2f", warm_speedup);
+  if (multiproc.ran) {
+    std::fprintf(out,
+                 ",\"multiprocess\":{\"readers\":%d,\"mb_per_s\":%.2f,"
+                 "\"entries_per_s\":%.1f,\"seconds\":%.4f}",
+                 multiproc.readers, multiproc.mb_per_s,
+                 multiproc.entries_per_s, multiproc.seconds);
+  }
+  std::fprintf(out, "},\"workloads\":[");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
     std::fprintf(out,
@@ -228,9 +616,9 @@ int main(int argc, char** argv) {
   std::fclose(out);
   std::printf("\n[run] artifact: %s\n", artifact.c_str());
 
-  server.stop();
   bench::print_run_footer(total);
   std::size_t failures = 0;
   for (const auto& r : results) failures += r.failures;
-  return failures == 0 ? 0 : 1;
+  if (failures != 0) exit_code = 1;
+  return exit_code;
 }

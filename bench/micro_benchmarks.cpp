@@ -1,7 +1,12 @@
 // Micro-benchmarks (google-benchmark) for the hot paths of the monitoring
 // pipeline: hashing, CID codecs, routing-table ops, trace preprocessing,
-// popularity scoring, and the estimator solver.
+// popularity scoring, the estimator solver, and the trace-store scan path
+// (segment decode per I/O backend, per-entry match strategies).
 #include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "analysis/estimators.hpp"
 #include "analysis/popularity.hpp"
@@ -12,6 +17,8 @@
 #include "obs/span.hpp"
 #include "scenario/study.hpp"
 #include "trace/preprocess.hpp"
+#include "tracestore/hotset.hpp"
+#include "tracestore/segment.hpp"
 #include "util/base58.hpp"
 #include "util/rng.hpp"
 
@@ -176,6 +183,176 @@ void BM_SpanBufferAppendContended(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SpanBufferAppendContended)->Threads(1)->Threads(4);
+
+// --- Trace-store scan path ---------------------------------------------------
+
+/// One ~200k-entry segment written once and decoded by every iteration.
+const std::string& bench_segment_path() {
+  static const std::string path = [] {
+    const std::string dir = "/tmp/ipfsmon_bench_segment";
+    std::filesystem::create_directories(dir);
+    const std::string p = dir + "/seg-000000.seg";
+    trace::Trace t = make_trace(200000);
+    t.sort_by_time();
+    std::string error;
+    if (!tracestore::write_segment_file(p, t, 10, nullptr, &error)) {
+      std::fprintf(stderr, "bench segment write failed: %s\n", error.c_str());
+      std::abort();
+    }
+    return p;
+  }();
+  return path;
+}
+
+// Full-segment decode throughput per I/O backend (arg 0 = buffered read,
+// arg 1 = mmap). A warm validation cache isolates decode speed from the
+// one-time checksum pass.
+void BM_SegmentDecode(benchmark::State& state) {
+  const std::string& path = bench_segment_path();
+  tracestore::ValidationCache cache;
+  tracestore::SegmentOpenOptions options;
+  options.backend = state.range(0) == 0 ? tracestore::IoBackend::kBuffered
+                                        : tracestore::IoBackend::kMmap;
+  options.validated = &cache;
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    std::string error;
+    auto reader = tracestore::SegmentReader::open(path, options, &error);
+    if (!reader) {
+      state.SkipWithError(error.c_str());
+      return;
+    }
+    trace::TraceEntry e;
+    std::uint64_t n = 0;
+    while (reader->next(e)) ++n;
+    benchmark::DoNotOptimize(n);
+    bytes += reader->footer().body_bytes;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+  state.SetLabel(std::string(tracestore::to_string(options.backend)));
+}
+BENCHMARK(BM_SegmentDecode)->Arg(0)->Arg(1);
+
+// Same, via the raw (dictionary-id) records the scan fast path decodes —
+// the gap to BM_SegmentDecode is the cost of materializing keys.
+void BM_SegmentDecodeRaw(benchmark::State& state) {
+  const std::string& path = bench_segment_path();
+  tracestore::ValidationCache cache;
+  tracestore::SegmentOpenOptions options;
+  options.validated = &cache;
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    std::string error;
+    auto reader = tracestore::SegmentReader::open(path, options, &error);
+    if (!reader) {
+      state.SkipWithError(error.c_str());
+      return;
+    }
+    tracestore::RawRecord raw;
+    std::uint64_t n = 0;
+    while (reader->next_raw(raw)) ++n;
+    benchmark::DoNotOptimize(n);
+    bytes += reader->footer().body_bytes;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_SegmentDecodeRaw);
+
+/// Shared corpus for the match-strategy benchmarks: 10k entries over a
+/// 50-key peer dictionary, with a watch set of `watch_size` trace peers.
+struct MatchCorpus {
+  trace::Trace t;
+  std::unordered_set<crypto::PeerId> watch;
+  std::vector<std::uint32_t> ids;          // per-entry dictionary id
+  std::vector<std::uint8_t> mask;          // per-id: in the watch set?
+};
+
+MatchCorpus make_match_corpus(std::size_t watch_size) {
+  MatchCorpus c;
+  // 10k entries over a synthetic 1024-peer population (cheap digests, not
+  // keygen), so watch sets larger than make_trace's 50 peers are possible.
+  util::RngStream rng(6, "bmmatch");
+  std::vector<crypto::PeerId> peers;
+  for (int i = 0; i < 1024; ++i) {
+    crypto::PeerId::Digest digest{};
+    digest[0] = static_cast<std::uint8_t>(i);
+    digest[1] = static_cast<std::uint8_t>(i >> 8);
+    digest[2] = 0xb7;
+    peers.emplace_back(digest);
+  }
+  for (std::size_t i = 0; i < 10000; ++i) {
+    trace::TraceEntry e;
+    e.timestamp = static_cast<util::SimTime>(i) * util::kSecond;
+    e.peer = peers[rng.uniform_index(peers.size())];
+    c.t.append(std::move(e));
+  }
+  while (c.watch.size() < watch_size) {
+    c.watch.insert(c.t.entries()[rng.uniform_index(c.t.size())].peer);
+  }
+  std::unordered_map<crypto::PeerId, std::uint32_t> index;
+  for (const auto& e : c.t.entries()) {
+    const auto [it, inserted] = index.emplace(
+        e.peer, static_cast<std::uint32_t>(index.size()));
+    c.ids.push_back(it->second);
+  }
+  c.mask.assign(index.size(), 0);
+  for (const auto& [peer, id] : index) {
+    if (c.watch.count(peer) != 0) c.mask[id] = 1;
+  }
+  return c;
+}
+
+// Per-entry membership, the inner loop of ScanQuery::matches before this
+// refactor: hash the 32-byte peer key into an unordered_set per entry.
+void BM_MatchUnorderedSet(benchmark::State& state) {
+  const MatchCorpus c =
+      make_match_corpus(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    for (const auto& e : c.t.entries()) {
+      hits += c.watch.count(e.peer);
+    }
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(c.t.size()));
+}
+BENCHMARK(BM_MatchUnorderedSet)->Arg(8)->Arg(256);
+
+// The flat open-addressing HotSet the compiled query uses for the
+// per-segment dictionary resolve.
+void BM_MatchHotSet(benchmark::State& state) {
+  const MatchCorpus c =
+      make_match_corpus(static_cast<std::size_t>(state.range(0)));
+  const tracestore::HotSet<crypto::PeerId> hot(c.watch);
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    for (const auto& e : c.t.entries()) {
+      hits += hot.contains(e.peer) ? 1 : 0;
+    }
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(c.t.size()));
+}
+BENCHMARK(BM_MatchHotSet)->Arg(8)->Arg(256);
+
+// The dictionary-id fast path actually run per record inside a scan: one
+// byte-mask load per entry, no key bytes touched.
+void BM_MatchDictionaryId(benchmark::State& state) {
+  const MatchCorpus c =
+      make_match_corpus(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    for (const std::uint32_t id : c.ids) {
+      hits += c.mask[id];
+    }
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(c.ids.size()));
+}
+BENCHMARK(BM_MatchDictionaryId)->Arg(8)->Arg(256);
 
 void BM_PowerLawAlphaFit(benchmark::State& state) {
   util::RngStream rng(5, "bmpl");

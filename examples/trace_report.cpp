@@ -233,9 +233,9 @@ int report_stores(const std::vector<std::string>& dirs,
       *unified, tracestore::ScanQuery{},
       [&acc](const trace::TraceEntry& e) { acc.add(e); });
   print_report(acc);
-  std::printf("\nscan: %zu/%zu segments decoded on %zu threads\n",
+  std::printf("\nscan: %zu/%zu segments decoded on %zu pool workers\n",
               scan_stats.segments_scanned, scan_stats.segments_total,
-              executor.threads());
+              unified->scan_pool().size());
   for (const auto& w : unified->warnings()) {
     std::fprintf(stderr, "warning: %s\n", w.c_str());
   }

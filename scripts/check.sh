@@ -6,17 +6,23 @@
 # tracestore suites plus churn and the span tracer under ThreadSanitizer
 # (`ctest -L 'obs|query|tracestore|churn'`).
 #
-# Usage: scripts/check.sh [--no-asan] [--no-tsan]
+# --perf-smoke additionally runs `exp_query_throughput --smoke`, which
+# fails when the warm watchlist scan rate drops below half the committed
+# floor in bench/query_smoke_floor.json (a >2x scan-path regression).
+#
+# Usage: scripts/check.sh [--no-asan] [--no-tsan] [--perf-smoke]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 RUN_ASAN=1
 RUN_TSAN=1
+RUN_PERF=0
 for arg in "$@"; do
   case "$arg" in
     --no-asan) RUN_ASAN=0 ;;
     --no-tsan) RUN_TSAN=0 ;;
+    --perf-smoke) RUN_PERF=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 1 ;;
   esac
 done
@@ -30,6 +36,12 @@ echo "== tier-1: configure + build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure
+
+if [[ "$RUN_PERF" == "1" ]]; then
+  echo "== perf smoke: exp_query_throughput --smoke vs bench/query_smoke_floor.json =="
+  cmake --build build -j "$JOBS" --target exp_query_throughput
+  build/bench/exp_query_throughput --smoke
+fi
 
 if [[ "$RUN_ASAN" == "1" ]]; then
   echo "== asan: obs + tracestore + query + churn suites under -DIPFSMON_SANITIZE=address =="

@@ -43,8 +43,9 @@ done
 refs="$(grep -oE '(bench|examples)/[A-Za-z0-9_]+' README.md | sort -u)"
 for ref in $refs; do
   # A reference may be a source file (examples/foo.cpp), a binary name
-  # (bench/exp_foo), or a prefix family (bench/micro_*).
-  if [[ -e "$ref" || -e "${ref}.cpp" ]]; then
+  # (bench/exp_foo), a committed data file (bench/foo.json), or a prefix
+  # family (bench/micro_*).
+  if [[ -e "$ref" || -e "${ref}.cpp" || -e "${ref}.json" ]]; then
     continue
   fi
   if compgen -G "${ref}[A-Za-z0-9_]*.cpp" > /dev/null; then

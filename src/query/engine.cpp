@@ -140,6 +140,9 @@ QueryService::QueryService(QueryOptions options)
       executor_(options_.scan_threads),
       cache_(options_.cache_capacity) {
   options_.store.obs = &obs_;
+  // The executor shares the store's persistent pool when scan_threads is
+  // 0; size that pool from the same knob so one setting governs both.
+  options_.store.scan_threads = options_.scan_threads;
   obs_.tracer.configure(options_.tracing);
 }
 
@@ -304,8 +307,8 @@ RangeStats QueryService::stats_between_locked(util::SimTime min_t,
           dspan.set_attr("windows",
                          static_cast<std::uint64_t>(windows.size()));
         }
-        auto reader =
-            tracestore::SegmentReader::open(store_->segment_path(index));
+        auto reader = tracestore::SegmentReader::open(
+            store_->segment_path(index), store_->open_options());
         if (!reader) {
           // Mirror ScanExecutor: a corrupt segment is skipped, loudly.
           store_->warn("skipping unreadable segment " +

@@ -1,0 +1,86 @@
+// A flat open-addressing membership set for scan hot paths. Built once
+// from a query's key set, then probed millions of times per scan — the
+// read-mostly shape of netdata's dictionary, stripped to what matching
+// needs: power-of-two capacity at <=50% load, linear probing over one
+// contiguous slot array (cache-line friendly, no per-node allocation),
+// and the full 64-bit hash stored per slot so almost every miss resolves
+// on an integer compare without touching key bytes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace ipfsmon::tracestore {
+
+template <typename Key, typename Hash = std::hash<Key>>
+class HotSet {
+ public:
+  HotSet() = default;
+
+  template <typename Iterator>
+  HotSet(Iterator begin, Iterator end) {
+    std::size_t count = 0;
+    for (auto it = begin; it != end; ++it) ++count;
+    if (count == 0) return;
+    std::size_t capacity = 8;
+    while (capacity < count * 2) capacity <<= 1;
+    slots_.resize(capacity);
+    for (auto it = begin; it != end; ++it) insert(*it);
+  }
+
+  template <typename Container>
+  explicit HotSet(const Container& keys) : HotSet(keys.begin(), keys.end()) {}
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return slots_.size(); }
+
+  bool contains(const Key& key) const {
+    if (slots_.empty()) return false;
+    const std::uint64_t hash = mix(Hash{}(key));
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = hash & mask;; i = (i + 1) & mask) {
+      const Slot& slot = slots_[i];
+      if (!slot.used) return false;
+      if (slot.hash == hash && slot.key == key) return true;
+    }
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t hash = 0;
+    Key key{};
+    bool used = false;
+  };
+
+  /// std::hash for integers is often identity; a 64-bit finalizer
+  /// (splitmix64) keeps probe sequences short regardless.
+  static std::uint64_t mix(std::uint64_t h) {
+    h += 0x9e3779b97f4a7c15ull;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+    return h ^ (h >> 31);
+  }
+
+  void insert(const Key& key) {
+    const std::uint64_t hash = mix(Hash{}(key));
+    const std::size_t mask = slots_.size() - 1;
+    for (std::size_t i = hash & mask;; i = (i + 1) & mask) {
+      Slot& slot = slots_[i];
+      if (!slot.used) {
+        slot.hash = hash;
+        slot.key = key;
+        slot.used = true;
+        ++size_;
+        return;
+      }
+      if (slot.hash == hash && slot.key == key) return;  // duplicate
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ipfsmon::tracestore

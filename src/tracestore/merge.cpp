@@ -7,15 +7,46 @@ namespace ipfsmon::tracestore {
 
 // --- StoreCursor ------------------------------------------------------------
 
-StoreCursor::StoreCursor(const TraceStore& store) : store_(&store) {}
+StoreCursor::StoreCursor(const TraceStore& store) : store_(&store) {
+  start_prefetch();
+}
+
+StoreCursor::~StoreCursor() {
+  // The in-flight open captures this cursor's Prefetch by shared_ptr, so
+  // it could outlive us safely — but it also dereferences the store;
+  // block until it retires rather than racing the store's lifetime.
+  prefetch_ticket_.wait();
+}
+
+void StoreCursor::start_prefetch() {
+  if (segment_index_ >= store_->segments().size()) {
+    prefetch_.reset();
+    return;
+  }
+  auto pending = std::make_shared<Prefetch>();
+  pending->index = segment_index_++;
+  const TraceStore* store = store_;
+  prefetch_ = pending;
+  prefetch_ticket_ = store_->scan_pool().submit([pending, store] {
+    std::string error;
+    pending->reader = SegmentReader::open(store->segment_path(pending->index),
+                                          store->open_options(), &error);
+    if (!pending->reader) pending->error = error;
+  });
+}
 
 bool StoreCursor::open_next_segment() {
-  while (segment_index_ < store_->segments().size()) {
-    const std::size_t index = segment_index_++;
-    std::string error;
-    reader_ = SegmentReader::open(store_->segment_path(index), &error);
-    if (reader_) return true;
-    store_->warn("skipping segment during scan: " + error);
+  while (prefetch_ != nullptr) {
+    prefetch_ticket_.wait();
+    const std::shared_ptr<Prefetch> done = std::move(prefetch_);
+    // Kick off the next open before decoding this segment, so the open
+    // and checksum of segment k+1 overlap the merge of segment k.
+    start_prefetch();
+    if (done->reader) {
+      reader_ = std::move(done->reader);
+      return true;
+    }
+    store_->warn("skipping segment during scan: " + done->error);
   }
   reader_.reset();
   return false;

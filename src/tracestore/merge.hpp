@@ -21,20 +21,39 @@
 namespace ipfsmon::tracestore {
 
 /// Streams one store's entries in segment order (segments are written in
-/// time order, so this is the monitor's recording order). One segment is
-/// resident at a time; corrupt segments are skipped through store.warn().
+/// time order, so this is the monitor's recording order). While the
+/// consumer decodes one segment, the next one is opened (and checksum-
+/// validated) ahead of time on the store's scan pool, so a k-way merge
+/// overlaps each input's open/validate I/O with merging. At most two
+/// segments per cursor are resident (current + prefetched); corrupt
+/// segments are skipped through store.warn() on the consumer thread.
 class StoreCursor {
  public:
   explicit StoreCursor(const TraceStore& store);
+  ~StoreCursor();
+  StoreCursor(StoreCursor&&) = default;
+  StoreCursor& operator=(StoreCursor&&) = default;
+  StoreCursor(const StoreCursor&) = delete;
+  StoreCursor& operator=(const StoreCursor&) = delete;
 
   bool next(trace::TraceEntry& out);
 
  private:
+  /// One in-flight open, handed from the pool task to the consumer.
+  struct Prefetch {
+    std::size_t index = 0;
+    std::optional<SegmentReader> reader;
+    std::string error;  // set when the open failed
+  };
+
+  void start_prefetch();
   bool open_next_segment();
 
   const TraceStore* store_;
-  std::size_t segment_index_ = 0;
+  std::size_t segment_index_ = 0;  // next segment to submit for prefetch
   std::optional<SegmentReader> reader_;
+  std::shared_ptr<Prefetch> prefetch_;
+  ScanPool::Ticket prefetch_ticket_;
 };
 
 /// Incremental re-implementation of trace::mark_flags: feed time-ordered

@@ -1,13 +1,12 @@
 #include "tracestore/scan.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <condition_variable>
 #include <limits>
 #include <mutex>
-#include <thread>
 
 #include "obs/span.hpp"
+#include "tracestore/hotset.hpp"
 
 namespace ipfsmon::tracestore {
 
@@ -20,9 +19,13 @@ bool ScanQuery::matches(const trace::TraceEntry& entry) const {
 }
 
 ScanExecutor::ScanExecutor(std::size_t threads) : threads_(threads) {
-  if (threads_ == 0) {
-    threads_ = std::max(1u, std::thread::hardware_concurrency());
+  if (threads_ != 0) {
+    own_pool_ = std::make_shared<ScanPool>(threads_);
   }
+}
+
+ScanPool& ScanExecutor::pool_for(const TraceStore& store) const {
+  return own_pool_ != nullptr ? *own_pool_ : store.scan_pool();
 }
 
 namespace {
@@ -54,6 +57,39 @@ Prune prune_decision(const SegmentFooter& footer, const ScanQuery& query,
   return Prune::kNone;
 }
 
+/// Per-dictionary id masks for one segment: mask[id] is 1 when that
+/// interned key is in the query's key set. Empty mask = the query does
+/// not constrain this dimension. `any` is false when the query does
+/// constrain it but no interned key qualifies — nothing in the segment
+/// can match (a Bloom false positive, caught exactly).
+struct IdMask {
+  std::vector<std::uint8_t> allowed;
+  bool any = true;
+
+  bool pass(std::uint32_t id) const {
+    return allowed.empty() || (id < allowed.size() && allowed[id] != 0);
+  }
+};
+
+/// `key_at(id)` resolves an interned key; with an empty query key set it is
+/// never called, so lazily-decoded dictionaries (CIDs) stay undecoded for
+/// queries that do not constrain that dimension.
+template <typename KeyAt, typename HotSetT>
+IdMask resolve_mask(std::size_t count, const KeyAt& key_at,
+                    const HotSetT& keys) {
+  IdMask mask;
+  if (keys.empty()) return mask;
+  mask.allowed.assign(count, 0);
+  mask.any = false;
+  for (std::size_t id = 0; id < count; ++id) {
+    if (keys.contains(key_at(id))) {
+      mask.allowed[id] = 1;
+      mask.any = true;
+    }
+  }
+  return mask;
+}
+
 }  // namespace
 
 ScanStats ScanExecutor::scan(
@@ -65,20 +101,31 @@ ScanStats ScanExecutor::scan(
   stats.segments_total = n;
   if (n == 0) return stats;
 
-  // Hash the query keys once; workers only test bits.
+  // Compile the query once: Bloom hashes for pruning, flat hot-sets for
+  // the per-segment dictionary resolve, time bounds as plain integers.
   std::vector<BloomHash> peer_hashes;
   peer_hashes.reserve(query.peers.size());
   for (const auto& p : query.peers) peer_hashes.push_back(bloom_hash(p));
   std::vector<BloomHash> cid_hashes;
   cid_hashes.reserve(query.cids.size());
   for (const auto& c : query.cids) cid_hashes.push_back(bloom_hash(c));
+  const HotSet<crypto::PeerId> hot_peers(query.peers);
+  const HotSet<cid::Cid> hot_cids(query.cids);
+  const util::SimTime lo =
+      query.min_time ? *query.min_time : std::numeric_limits<util::SimTime>::min();
+  const util::SimTime hi =
+      query.max_time ? *query.max_time : std::numeric_limits<util::SimTime>::max();
 
-  // Per-segment result slots filled by workers; the consumer drains them
-  // strictly in segment order, so visit() sees a deterministic stream and
-  // finished slots are released as soon as they are consumed.
+  // Per-segment result slots filled by pool workers; the consumer (this
+  // thread) drains them strictly in segment order, so visit() sees a
+  // deterministic stream and finished slots are released as soon as they
+  // are consumed.
   struct Slot {
     trace::Trace matches;
     std::string error;  // non-empty: segment skipped
+    bool dictionary_pruned = false;
+    std::uint64_t entries_decoded = 0;
+    std::uint64_t bytes_scanned = 0;
     bool done = false;
     SegmentScanProfile profile;  // filled only when profiling
   };
@@ -94,61 +141,88 @@ ScanStats ScanExecutor::scan(
 
   std::mutex mutex;
   std::condition_variable ready;
-  std::atomic<std::size_t> next{0};
   const bool profiling = profile != nullptr;
-  auto worker = [&]() {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= n) return;
-      Slot local;
-      if (pruned[i] == Prune::kNone) {
-        if (profiling) {
-          local.profile.segment = i;
-          local.profile.file = store.segments()[i].file;
-          local.profile.start_us = obs::wall_micros_now();
-        }
-        std::string error;
-        auto reader = SegmentReader::open(store.segment_path(i), &error);
-        if (!reader) {
-          local.error = error;
-        } else if (profiling) {
-          // Profiled decode: clock each next()/matches() pair. The extra
-          // clock reads only happen on this branch, so unprofiled scans
-          // pay nothing.
-          trace::TraceEntry entry;
-          std::int64_t t0 = obs::wall_micros_now();
-          while (reader->next(entry)) {
-            const std::int64_t t1 = obs::wall_micros_now();
-            local.profile.decode_us += t1 - t0;
-            ++local.profile.entries;
-            const bool hit = query.matches(entry);
-            if (hit) local.matches.append(entry);
-            t0 = obs::wall_micros_now();
-            local.profile.match_us += t0 - t1;
-            if (hit) ++local.profile.matched;
-          }
-          local.profile.decode_us += obs::wall_micros_now() - t0;
+  const SegmentOpenOptions open_options = store.open_options();
+  auto task = [&](std::size_t i) {
+    Slot local;
+    if (pruned[i] == Prune::kNone) {
+      if (profiling) {
+        local.profile.segment = i;
+        local.profile.file = store.segments()[i].file;
+        local.profile.start_us = obs::wall_micros_now();
+      }
+      std::string error;
+      auto reader =
+          SegmentReader::open(store.segment_path(i), open_options, &error);
+      if (!reader) {
+        local.error = error;
+      } else {
+        // Resolve the query's key sets against this segment's interned
+        // dictionaries once; the record loop then matches on integer ids
+        // and never hashes a key.
+        const auto& peers = reader->peer_dictionary();
+        const IdMask peer_mask = resolve_mask(
+            peers.size(), [&](std::size_t id) -> const crypto::PeerId& {
+              return peers[id];
+            },
+            hot_peers);
+        const IdMask cid_mask = resolve_mask(
+            reader->cid_key_count(),
+            [&](std::size_t id) -> const cid::Cid& {
+              return reader->cid_key(static_cast<std::uint32_t>(id));
+            },
+            hot_cids);
+        if (!peer_mask.any || !cid_mask.any) {
+          local.dictionary_pruned = true;
         } else {
+          local.bytes_scanned = reader->footer().body_bytes;
+          RawRecord raw;
           trace::TraceEntry entry;
-          while (reader->next(entry)) {
-            if (query.matches(entry)) local.matches.append(entry);
+          if (profiling) {
+            // Profiled decode: clock each next_raw()/match pair. The
+            // extra clock reads only happen on this branch, so
+            // unprofiled scans pay nothing.
+            std::int64_t t0 = obs::wall_micros_now();
+            while (reader->next_raw(raw)) {
+              const std::int64_t t1 = obs::wall_micros_now();
+              local.profile.decode_us += t1 - t0;
+              ++local.entries_decoded;
+              ++local.profile.entries;
+              const bool hit = raw.timestamp >= lo && raw.timestamp <= hi &&
+                               peer_mask.pass(raw.peer) &&
+                               cid_mask.pass(raw.cid);
+              if (hit) {
+                reader->materialize(raw, entry);
+                local.matches.append(entry);
+                ++local.profile.matched;
+              }
+              t0 = obs::wall_micros_now();
+              local.profile.match_us += t0 - t1;
+            }
+            local.profile.decode_us += obs::wall_micros_now() - t0;
+          } else {
+            while (reader->next_raw(raw)) {
+              ++local.entries_decoded;
+              if (raw.timestamp >= lo && raw.timestamp <= hi &&
+                  peer_mask.pass(raw.peer) && cid_mask.pass(raw.cid)) {
+                reader->materialize(raw, entry);
+                local.matches.append(entry);
+              }
+            }
           }
         }
-        if (profiling) local.profile.end_us = obs::wall_micros_now();
       }
-      {
-        std::lock_guard<std::mutex> lock(mutex);
-        slots[i] = std::move(local);
-        slots[i].done = true;
-      }
-      ready.notify_all();
+      if (profiling) local.profile.end_us = obs::wall_micros_now();
     }
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      slots[i] = std::move(local);
+      slots[i].done = true;
+    }
+    ready.notify_all();
   };
 
-  std::vector<std::thread> pool;
-  const std::size_t spawned = std::min(threads_, n);
-  pool.reserve(spawned);
-  for (std::size_t t = 0; t < spawned; ++t) pool.emplace_back(worker);
+  ScanPool::Ticket ticket = pool_for(store).run(n, task);
 
   for (std::size_t i = 0; i < n; ++i) {
     Slot slot;
@@ -171,14 +245,21 @@ ScanStats ScanExecutor::scan(
       store.warn("skipping segment during scan: " + slot.error);
       continue;
     }
+    if (slot.dictionary_pruned) {
+      ++stats.segments_pruned_dictionary;
+      if (profiling) profile->segments.push_back(std::move(slot.profile));
+      continue;
+    }
     ++stats.segments_scanned;
+    stats.entries_decoded += slot.entries_decoded;
+    stats.bytes_scanned += slot.bytes_scanned;
     if (profiling) profile->segments.push_back(std::move(slot.profile));
     for (const auto& entry : slot.matches.entries()) {
       visit(entry);
       ++stats.entries_matched;
     }
   }
-  for (auto& t : pool) t.join();
+  ticket.wait();
 
   if (store.options().obs != nullptr) {
     auto& reg = store.options().obs->metrics;
@@ -187,10 +268,14 @@ ScanStats ScanExecutor::scan(
         .inc(stats.segments_scanned);
     reg.counter("ipfsmon_tracestore_segments_pruned_total",
                 "Segments skipped via footer time range or Bloom filters")
-        .inc(stats.segments_pruned_time + stats.segments_pruned_bloom);
+        .inc(stats.segments_pruned_time + stats.segments_pruned_bloom +
+             stats.segments_pruned_dictionary);
     reg.counter("ipfsmon_tracestore_scan_entries_total",
                 "Entries streamed to scan visitors")
         .inc(stats.entries_matched);
+    reg.counter("ipfsmon_tracestore_scan_bytes_total",
+                "Segment body bytes decoded by scan queries")
+        .inc(stats.bytes_scanned);
   }
   return stats;
 }

@@ -1,9 +1,15 @@
 // Predicate-pushdown scans over a trace store. A ScanQuery names a time
 // range and/or peer/CID sets; the executor prunes whole segments with the
 // footer index (time range first, then Bloom membership) and decodes the
-// survivors on a small thread pool. Matches stream to the visitor in
-// segment order — deterministic, and memory-bounded by the matches of the
-// segments currently in flight, never the whole result.
+// survivors on a persistent work-stealing pool. Matches stream to the
+// visitor in segment order — deterministic, and memory-bounded by the
+// matches of the segments currently in flight, never the whole result.
+//
+// Matching inside a decoded segment takes the dictionary fast path: the
+// query's peer/CID sets are resolved against the segment's interned
+// dictionaries once (a flat open-addressing HotSet probe per dictionary
+// entry), and every record is then matched on integer ids — no per-entry
+// hashing, and entries are only materialized after they match.
 #pragma once
 
 #include <functional>
@@ -32,7 +38,17 @@ struct ScanStats {
   std::size_t segments_scanned = 0;
   std::size_t segments_pruned_time = 0;
   std::size_t segments_pruned_bloom = 0;
+  /// Segments opened but skipped without decoding a single entry because
+  /// no dictionary key survived the query's key sets (a Bloom false
+  /// positive caught after the dictionary resolve).
+  std::size_t segments_pruned_dictionary = 0;
   std::uint64_t entries_matched = 0;
+  /// Records decoded (before the predicate) and segment-body bytes read,
+  /// for MB/s and entries/s accounting in the benches.
+  std::uint64_t entries_decoded = 0;
+  std::uint64_t bytes_scanned = 0;
+
+  bool operator==(const ScanStats&) const = default;
 };
 
 /// Wall-clock timing of one decoded segment within a profiled scan.
@@ -43,7 +59,7 @@ struct SegmentScanProfile {
   std::string file;
   std::int64_t start_us = 0;
   std::int64_t end_us = 0;
-  /// Time inside SegmentReader::next (decode) vs. ScanQuery::matches.
+  /// Time inside SegmentReader::next_raw (decode) vs. id matching.
   std::int64_t decode_us = 0;
   std::int64_t match_us = 0;
   std::uint64_t entries = 0;
@@ -63,7 +79,10 @@ struct ScanProfile {
 
 class ScanExecutor {
  public:
-  /// `threads` = 0 picks the hardware concurrency (at least 1).
+  /// `threads` = 0 (the default) runs scans on the store's shared
+  /// persistent pool (TraceStore::scan_pool()). A non-zero count gives
+  /// the executor its own long-lived pool of exactly that size, created
+  /// once here — no per-scan thread spawning either way.
   explicit ScanExecutor(std::size_t threads = 0);
 
   /// Runs `query` over `store`, calling `visit` on the consumer thread for
@@ -74,10 +93,14 @@ class ScanExecutor {
                  const std::function<void(const trace::TraceEntry&)>& visit,
                  ScanProfile* profile = nullptr) const;
 
+  /// 0 = sharing the store's pool; otherwise this executor's pool size.
   std::size_t threads() const { return threads_; }
 
  private:
+  ScanPool& pool_for(const TraceStore& store) const;
+
   std::size_t threads_;
+  std::shared_ptr<ScanPool> own_pool_;  // only when threads_ != 0
 };
 
 }  // namespace ipfsmon::tracestore

@@ -6,6 +6,14 @@
 #include <sstream>
 #include <unordered_set>
 
+#if defined(__unix__) || defined(__APPLE__)
+#define IPFSMON_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
 #include "trace/io.hpp"
 #include "util/varint.hpp"
 
@@ -128,7 +136,202 @@ bool fail(std::string* error, std::string message) {
   return false;
 }
 
+/// Validates trailer + footer over a whole-file view and decodes the
+/// footer. Shared by the mapped reader and any in-memory validation.
+bool parse_trailer_and_footer(const std::string& path, util::BytesView view,
+                              SegmentFooter* out_footer, std::string* error) {
+  if (view.size() < kTrailerBytes) {
+    return fail(error, path + ": truncated (no trailer)");
+  }
+  const util::BytesView trailer = view.subspan(view.size() - kTrailerBytes);
+  if (get_u32_le(trailer.subspan(12)) != kTrailerMagic) {
+    return fail(error, path + ": bad trailer magic (truncated segment?)");
+  }
+  const std::uint32_t footer_len = get_u32_le(trailer.subspan(0, 4));
+  if (footer_len + kTrailerBytes > view.size()) {
+    return fail(error, path + ": footer length exceeds file size");
+  }
+  const util::BytesView footer_bytes =
+      view.subspan(view.size() - kTrailerBytes - footer_len, footer_len);
+  if (fnv1a64(footer_bytes, 0) != get_u64_le(trailer.subspan(4, 8))) {
+    return fail(error, path + ": footer checksum mismatch");
+  }
+  auto footer = decode_footer(footer_bytes);
+  if (!footer) return fail(error, path + ": malformed footer");
+  if (footer->body_bytes + footer_len + kTrailerBytes != view.size()) {
+    return fail(error, path + ": body length mismatch");
+  }
+  *out_footer = std::move(*footer);
+  return true;
+}
+
 }  // namespace
+
+std::string_view to_string(IoBackend backend) {
+  switch (backend) {
+    case IoBackend::kAuto: return "auto";
+    case IoBackend::kMmap: return "mmap";
+    case IoBackend::kBuffered: return "buffered";
+  }
+  return "unknown";
+}
+
+// --- SegmentMapping ---------------------------------------------------------
+
+SegmentMapping& SegmentMapping::operator=(SegmentMapping&& other) noexcept {
+  if (this == &other) return *this;
+#ifdef IPFSMON_HAS_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+  }
+#endif
+  data_ = other.data_;
+  size_ = other.size_;
+  mapped_ = other.mapped_;
+  mtime_ns_ = other.mtime_ns_;
+  owned_ = std::move(other.owned_);
+  if (!mapped_ && size_ != 0) data_ = owned_.data();
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+  return *this;
+}
+
+SegmentMapping::~SegmentMapping() {
+#ifdef IPFSMON_HAS_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+  }
+#endif
+}
+
+std::optional<SegmentMapping> SegmentMapping::open(const std::string& path,
+                                                   IoBackend backend,
+                                                   std::string* error) {
+  SegmentMapping mapping;
+#ifdef IPFSMON_HAS_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    fail(error, path + ": cannot open");
+    return std::nullopt;
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    fail(error, path + ": cannot stat");
+    return std::nullopt;
+  }
+  mapping.size_ = static_cast<std::size_t>(st.st_size);
+#if defined(__APPLE__)
+  mapping.mtime_ns_ = static_cast<std::int64_t>(st.st_mtimespec.tv_sec) *
+                          1000000000 +
+                      st.st_mtimespec.tv_nsec;
+#else
+  mapping.mtime_ns_ = static_cast<std::int64_t>(st.st_mtim.tv_sec) *
+                          1000000000 +
+                      st.st_mtim.tv_nsec;
+#endif
+  if (mapping.size_ == 0) {
+    // Empty files cannot be mapped; an empty view fails validation later
+    // with a proper "truncated" error either way.
+    ::close(fd);
+    return mapping;
+  }
+  if (backend != IoBackend::kBuffered) {
+    void* addr =
+        ::mmap(nullptr, mapping.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr != MAP_FAILED) {
+      // Scans decode front to back; tell the kernel to read ahead
+      // aggressively and not to keep pages behind us.
+      ::madvise(addr, mapping.size_, MADV_SEQUENTIAL);
+      ::close(fd);
+      mapping.data_ = static_cast<const std::uint8_t*>(addr);
+      mapping.mapped_ = true;
+      return mapping;
+    }
+    if (backend == IoBackend::kMmap) {
+      ::close(fd);
+      fail(error, path + ": mmap failed");
+      return std::nullopt;
+    }
+    // kAuto: fall through to the buffered read on map failure.
+  }
+  mapping.owned_.resize(mapping.size_);
+  std::size_t done = 0;
+  while (done < mapping.size_) {
+    const ssize_t got = ::pread(fd, mapping.owned_.data() + done,
+                                mapping.size_ - done,
+                                static_cast<off_t>(done));
+    if (got <= 0) {
+      ::close(fd);
+      fail(error, path + ": short read");
+      return std::nullopt;
+    }
+    done += static_cast<std::size_t>(got);
+  }
+  ::close(fd);
+  mapping.data_ = mapping.owned_.data();
+  return mapping;
+#else
+  if (backend == IoBackend::kMmap) {
+    fail(error, path + ": mmap unavailable on this platform");
+    return std::nullopt;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    fail(error, path + ": cannot open");
+    return std::nullopt;
+  }
+  in.seekg(0, std::ios::end);
+  const auto size = in.tellg();
+  if (size < 0) {
+    fail(error, path + ": cannot size");
+    return std::nullopt;
+  }
+  mapping.size_ = static_cast<std::size_t>(size);
+  std::error_code ec;
+  const auto mtime = std::filesystem::last_write_time(path, ec);
+  mapping.mtime_ns_ =
+      ec ? 0 : static_cast<std::int64_t>(mtime.time_since_epoch().count());
+  mapping.owned_.resize(mapping.size_);
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(mapping.owned_.data()),
+          static_cast<std::streamsize>(mapping.size_));
+  if (static_cast<std::size_t>(in.gcount()) != mapping.size_) {
+    fail(error, path + ": short read");
+    return std::nullopt;
+  }
+  mapping.data_ = mapping.owned_.data();
+  return mapping;
+#endif
+}
+
+// --- ValidationCache --------------------------------------------------------
+
+bool ValidationCache::contains(const std::string& path, std::int64_t mtime_ns,
+                               std::uint64_t size) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = verified_.find(path);
+  if (it == verified_.end() || it->second.mtime_ns != mtime_ns ||
+      it->second.size != size) {
+    return false;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ValidationCache::remember(const std::string& path, std::int64_t mtime_ns,
+                               std::uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  verified_[path] = Signature{mtime_ns, size};
+}
+
+std::size_t ValidationCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return verified_.size();
+}
+
+// --- Writing ----------------------------------------------------------------
 
 bool write_segment_file(const std::string& path, const trace::Trace& entries,
                         std::size_t bloom_bits_per_key,
@@ -186,79 +389,107 @@ bool write_segment_file(const std::string& path, const trace::Trace& entries,
   return true;
 }
 
-namespace {
-
-/// Loads the whole file and validates the trailer + footer checksum.
-/// On success `out_buffer` holds the file and `out_footer` the footer.
-bool load_and_validate(const std::string& path, util::Bytes* out_buffer,
-                       SegmentFooter* out_footer, bool verify_body,
-                       std::string* error) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return fail(error, path + ": cannot open");
-  std::ostringstream collected;
-  collected << in.rdbuf();
-  const std::string data = collected.str();
-  if (data.size() < kTrailerBytes) {
-    return fail(error, path + ": truncated (no trailer)");
-  }
-  const util::BytesView view(
-      reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
-  const util::BytesView trailer = view.subspan(data.size() - kTrailerBytes);
-  if (get_u32_le(trailer.subspan(12)) != kTrailerMagic) {
-    return fail(error, path + ": bad trailer magic (truncated segment?)");
-  }
-  const std::uint32_t footer_len = get_u32_le(trailer.subspan(0, 4));
-  if (footer_len + kTrailerBytes > data.size()) {
-    return fail(error, path + ": footer length exceeds file size");
-  }
-  const util::BytesView footer_bytes =
-      view.subspan(data.size() - kTrailerBytes - footer_len, footer_len);
-  if (fnv1a64(footer_bytes, 0) != get_u64_le(trailer.subspan(4, 8))) {
-    return fail(error, path + ": footer checksum mismatch");
-  }
-  auto footer = decode_footer(footer_bytes);
-  if (!footer) return fail(error, path + ": malformed footer");
-  if (footer->body_bytes + footer_len + kTrailerBytes != data.size()) {
-    return fail(error, path + ": body length mismatch");
-  }
-  if (verify_body &&
-      fnv1a64(view.subspan(0, footer->body_bytes), 0) !=
-          footer->body_checksum) {
-    return fail(error, path + ": body checksum mismatch");
-  }
-  if (out_buffer != nullptr) {
-    out_buffer->assign(view.begin(), view.end());
-  }
-  *out_footer = std::move(*footer);
-  return true;
-}
-
-}  // namespace
+// --- Footer-only read -------------------------------------------------------
 
 std::optional<SegmentFooter> read_segment_footer(const std::string& path,
                                                  std::string* error) {
-  // Footer-only validation: body checksum is deferred to the actual read.
-  SegmentFooter footer;
-  if (!load_and_validate(path, nullptr, &footer, /*verify_body=*/false,
-                         error)) {
+  // Called for every segment on store open and scan prune, so it must not
+  // touch the body: seek to EOF, read the fixed trailer, then read exactly
+  // footer_len more bytes — two small tail reads regardless of file size.
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    fail(error, path + ": cannot open");
+    return std::nullopt;
+  }
+  in.seekg(0, std::ios::end);
+  const std::int64_t file_size = in.tellg();
+  if (file_size < static_cast<std::int64_t>(kTrailerBytes)) {
+    fail(error, path + ": truncated (no trailer)");
+    return std::nullopt;
+  }
+  std::uint8_t trailer_raw[kTrailerBytes];
+  in.seekg(file_size - static_cast<std::int64_t>(kTrailerBytes));
+  in.read(reinterpret_cast<char*>(trailer_raw), kTrailerBytes);
+  if (static_cast<std::size_t>(in.gcount()) != kTrailerBytes) {
+    fail(error, path + ": short trailer read");
+    return std::nullopt;
+  }
+  const util::BytesView trailer(trailer_raw, kTrailerBytes);
+  if (get_u32_le(trailer.subspan(12)) != kTrailerMagic) {
+    fail(error, path + ": bad trailer magic (truncated segment?)");
+    return std::nullopt;
+  }
+  const std::uint32_t footer_len = get_u32_le(trailer.subspan(0, 4));
+  if (footer_len + kTrailerBytes > static_cast<std::uint64_t>(file_size)) {
+    fail(error, path + ": footer length exceeds file size");
+    return std::nullopt;
+  }
+  util::Bytes footer_bytes(footer_len);
+  in.seekg(file_size - static_cast<std::int64_t>(kTrailerBytes) -
+           static_cast<std::int64_t>(footer_len));
+  in.read(reinterpret_cast<char*>(footer_bytes.data()), footer_len);
+  if (static_cast<std::size_t>(in.gcount()) != footer_len) {
+    fail(error, path + ": short footer read");
+    return std::nullopt;
+  }
+  if (fnv1a64(footer_bytes, 0) != get_u64_le(trailer.subspan(4, 8))) {
+    fail(error, path + ": footer checksum mismatch");
+    return std::nullopt;
+  }
+  auto footer = decode_footer(footer_bytes);
+  if (!footer) {
+    fail(error, path + ": malformed footer");
+    return std::nullopt;
+  }
+  if (footer->body_bytes + footer_len + kTrailerBytes !=
+      static_cast<std::uint64_t>(file_size)) {
+    fail(error, path + ": body length mismatch");
     return std::nullopt;
   }
   return footer;
 }
 
+// --- SegmentReader ----------------------------------------------------------
+
 std::optional<SegmentReader> SegmentReader::open(const std::string& path,
                                                  std::string* error) {
+  return open(path, SegmentOpenOptions{}, error);
+}
+
+std::optional<SegmentReader> SegmentReader::open(
+    const std::string& path, const SegmentOpenOptions& options,
+    std::string* error) {
+  auto mapping = SegmentMapping::open(path, options.backend, error);
+  if (!mapping) return std::nullopt;
+
   SegmentReader reader;
-  if (!load_and_validate(path, &reader.buffer_, &reader.footer_,
-                         /*verify_body=*/true, error)) {
+  if (!parse_trailer_and_footer(path, mapping->view(), &reader.footer_,
+                                error)) {
     return std::nullopt;
   }
+  // Body checksum: a streaming pass over the mapping — no copy. A
+  // ValidationCache hit on (path, mtime, size) means this exact file
+  // already passed, so sealed segments are verified once, not per query.
+  const bool already_verified =
+      options.validated != nullptr &&
+      options.validated->contains(path, mapping->mtime_ns(), mapping->size());
+  if (!already_verified) {
+    if (fnv1a64(mapping->view().subspan(0, reader.footer_.body_bytes), 0) !=
+        reader.footer_.body_checksum) {
+      fail(error, path + ": body checksum mismatch");
+      return std::nullopt;
+    }
+    if (options.validated != nullptr) {
+      options.validated->remember(path, mapping->mtime_ns(), mapping->size());
+    }
+  }
+  reader.mapping_ = std::move(*mapping);
   if (!reader.parse_dictionaries(error)) return std::nullopt;
   return reader;
 }
 
 bool SegmentReader::parse_dictionaries(std::string* error) {
-  Parser p{util::BytesView(buffer_.data(), footer_.body_bytes)};
+  Parser p{body()};
   const auto magic = p.varint();
   if (!magic || *magic != kCompactMagic) {
     return fail(error, "bad body magic");
@@ -291,24 +522,29 @@ bool SegmentReader::parse_dictionaries(std::string* error) {
   }
   const auto cid_count = p.varint();
   if (!cid_count) return fail(error, "malformed CID dictionary");
-  cids_.reserve(*cid_count);
+  // CIDs are variable-length heap values and a raw scan may never touch
+  // them, so only their byte ranges are indexed here; cid_key() decodes
+  // on first use. The bytes are covered by the body checksum, so a
+  // structurally valid span is all open-time validation requires.
+  cid_spans_.reserve(*cid_count);
   for (std::uint64_t i = 0; i < *cid_count; ++i) {
     const auto len = p.varint();
     if (!len) return fail(error, "malformed CID dictionary");
+    const std::uint64_t at = p.pos;
     const auto raw = p.take(*len);
     if (!raw) return fail(error, "malformed CID dictionary");
-    const auto parsed = cid::Cid::decode(*raw);
-    if (!parsed) return fail(error, "malformed CID dictionary");
-    cids_.push_back(*parsed);
+    cid_spans_.push_back(KeySpan{at, static_cast<std::uint32_t>(*len)});
   }
+  cids_.assign(cid_spans_.size(), cid::Cid());
+  cid_done_.assign(cid_spans_.size(), 0);
   pos_ = p.pos;
   remaining_ = footer_.entry_count;
   return true;
 }
 
-bool SegmentReader::next(trace::TraceEntry& out) {
+bool SegmentReader::next_raw(RawRecord& out) {
   if (remaining_ == 0) return false;
-  Parser p{util::BytesView(buffer_.data(), footer_.body_bytes), pos_};
+  Parser p{body(), pos_};
   const auto delta = p.varint();
   const auto peer = p.varint();
   const auto addr = p.varint();
@@ -320,20 +556,51 @@ bool SegmentReader::next(trace::TraceEntry& out) {
     return false;
   }
   if (*peer >= peers_.size() || *addr >= addrs_.size() ||
-      *cid_ref >= cids_.size() || (*type_monitor & 0x3) > 2) {
+      *cid_ref >= cid_spans_.size() || (*type_monitor & 0x3) > 2) {
     remaining_ = 0;
     return false;
   }
   out.timestamp = prev_time_ + zigzag_decode(*delta);
   prev_time_ = out.timestamp;
-  out.peer = peers_[*peer];
-  out.address = addrs_[*addr];
-  out.cid = cids_[*cid_ref];
+  out.peer = static_cast<std::uint32_t>(*peer);
+  out.addr = static_cast<std::uint32_t>(*addr);
+  out.cid = static_cast<std::uint32_t>(*cid_ref);
   out.type = static_cast<bitswap::WantType>(*type_monitor & 0x3);
   out.monitor = static_cast<trace::MonitorId>(*type_monitor >> 2);
   out.flags = static_cast<std::uint32_t>(*flags);
   pos_ = p.pos;
   --remaining_;
+  return true;
+}
+
+const cid::Cid& SegmentReader::cid_key(std::uint32_t id) const {
+  if (cid_done_[id] == 0) {
+    const KeySpan span = cid_spans_[id];
+    auto parsed = cid::Cid::decode(body().subspan(span.offset, span.length));
+    // The span passed the body checksum, so a decode failure would take a
+    // bug in our own writer; the id then maps to an empty CID rather than
+    // poisoning the stream.
+    if (parsed) cids_[id] = std::move(*parsed);
+    cid_done_[id] = 1;
+  }
+  return cids_[id];
+}
+
+void SegmentReader::materialize(const RawRecord& raw,
+                                trace::TraceEntry& out) const {
+  out.timestamp = raw.timestamp;
+  out.peer = peers_[raw.peer];
+  out.address = addrs_[raw.addr];
+  out.cid = cid_key(raw.cid);
+  out.type = raw.type;
+  out.monitor = raw.monitor;
+  out.flags = raw.flags;
+}
+
+bool SegmentReader::next(trace::TraceEntry& out) {
+  RawRecord raw;
+  if (!next_raw(raw)) return false;
+  materialize(raw, out);
   return true;
 }
 

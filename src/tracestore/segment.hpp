@@ -10,10 +10,20 @@
 //   [body: IPM2 compact trace bytes]
 //   [footer: varint-packed SegmentFooter incl. Bloom bit arrays]
 //   [trailer, 16 bytes LE: u32 footer_len | u64 footer_checksum | u32 magic]
+//
+// The read path is zero-copy: SegmentMapping maps the file read-only
+// (mmap + madvise(SEQUENTIAL)) and SegmentReader decodes entries straight
+// out of the mapping. A buffered single-read fallback is selected at
+// runtime when mapping is unavailable or fails, and a ValidationCache
+// (keyed by path + mtime + size) lets repeat readers of sealed segments
+// skip the body-checksum pass they already paid for.
 #pragma once
 
+#include <atomic>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "tracestore/bloom.hpp"
 #include "trace/trace.hpp"
@@ -35,6 +45,80 @@ struct SegmentFooter {
   }
 };
 
+/// How segment bytes reach the decoder.
+enum class IoBackend {
+  kAuto,      ///< mmap when available, buffered read otherwise
+  kMmap,      ///< mmap only; open fails when the platform cannot map
+  kBuffered,  ///< single sized read into an owned buffer
+};
+
+std::string_view to_string(IoBackend backend);
+
+/// Read-only view of one whole segment file. Prefers a private read-only
+/// mmap with MADV_SEQUENTIAL (scans decode front to back); falls back to
+/// one exactly-sized pread into an owned buffer — never a stream slurp.
+class SegmentMapping {
+ public:
+  SegmentMapping() = default;  // empty mapping
+
+  static std::optional<SegmentMapping> open(const std::string& path,
+                                            IoBackend backend,
+                                            std::string* error = nullptr);
+
+  SegmentMapping(SegmentMapping&& other) noexcept { *this = std::move(other); }
+  SegmentMapping& operator=(SegmentMapping&& other) noexcept;
+  SegmentMapping(const SegmentMapping&) = delete;
+  SegmentMapping& operator=(const SegmentMapping&) = delete;
+  ~SegmentMapping();
+
+  util::BytesView view() const { return util::BytesView(data_, size_); }
+  std::size_t size() const { return size_; }
+  /// True when the bytes come from an mmap (false: owned buffer).
+  bool mapped() const { return mapped_; }
+  /// File modification time in nanoseconds since epoch, captured at open.
+  std::int64_t mtime_ns() const { return mtime_ns_; }
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  std::int64_t mtime_ns_ = 0;
+  util::Bytes owned_;  // buffered fallback storage
+};
+
+/// Remembers which sealed segment files already passed body-checksum
+/// validation, keyed by (path, mtime, size). Segments are immutable once
+/// written (rewrites go through a rename, changing mtime), so an unchanged
+/// signature means the expensive whole-body FNV pass can be skipped on
+/// every open after the first. Thread-safe: scan workers share one cache.
+class ValidationCache {
+ public:
+  bool contains(const std::string& path, std::int64_t mtime_ns,
+                std::uint64_t size) const;
+  void remember(const std::string& path, std::int64_t mtime_ns,
+                std::uint64_t size);
+
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::size_t entries() const;
+
+ private:
+  struct Signature {
+    std::int64_t mtime_ns = 0;
+    std::uint64_t size = 0;
+  };
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Signature> verified_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+};
+
+/// Per-open knobs threaded from TraceStore::open_options().
+struct SegmentOpenOptions {
+  IoBackend backend = IoBackend::kAuto;
+  /// When set, consult/populate the cache to skip re-validating the body
+  /// checksum of unchanged files. Null: validate on every open.
+  ValidationCache* validated = nullptr;
+};
+
 /// Serializes `entries` as a complete segment (body + footer + trailer) and
 /// writes it to `path` atomically (write to `path + ".tmp"`, then rename).
 /// Returns false and sets `error` on IO failure.
@@ -44,34 +128,87 @@ bool write_segment_file(const std::string& path, const trace::Trace& entries,
 
 /// Reads and validates only the footer (trailer magic, footer checksum) —
 /// the cheap open-time check; the body checksum is verified when the body
-/// is actually read. Returns nullopt and sets `error` on any mismatch.
+/// is actually read. Reads just the trailer + footer tail of the file
+/// (two small reads), never the body. Returns nullopt and sets `error` on
+/// any mismatch.
 std::optional<SegmentFooter> read_segment_footer(const std::string& path,
                                                  std::string* error);
 
-/// Streaming decoder over one segment. Loads the file, verifies both
+/// One entry decoded to dictionary references instead of materialized
+/// keys: `peer`/`addr`/`cid` index into the segment's interned
+/// dictionaries. The scan fast path matches on these integer ids and only
+/// materializes entries that pass the predicate.
+struct RawRecord {
+  util::SimTime timestamp = 0;
+  std::uint32_t peer = 0;
+  std::uint32_t addr = 0;
+  std::uint32_t cid = 0;
+  bitswap::WantType type = bitswap::WantType::WantHave;
+  trace::MonitorId monitor = 0;
+  std::uint32_t flags = 0;
+};
+
+/// Streaming decoder over one segment. Maps the file, verifies both
 /// checksums and the dictionaries up front (memory bounded by the segment,
-/// not the trace), then yields entries one at a time.
+/// not the trace), then yields entries one at a time directly from the
+/// mapping.
 class SegmentReader {
  public:
   static std::optional<SegmentReader> open(const std::string& path,
                                            std::string* error = nullptr);
+  static std::optional<SegmentReader> open(const std::string& path,
+                                           const SegmentOpenOptions& options,
+                                           std::string* error = nullptr);
 
   const SegmentFooter& footer() const { return footer_; }
+  /// True when the bytes are served from an mmap.
+  bool mapped() const { return mapping_.mapped(); }
 
   /// Decodes the next entry into `out`; false at end-of-segment or on a
   /// malformed record (malformed bodies fail the checksum first in
   /// practice, but decode errors still terminate the stream).
   bool next(trace::TraceEntry& out);
 
+  /// Like next(), but yields dictionary ids without materializing the
+  /// peer/address/CID keys — the scan fast path.
+  bool next_raw(RawRecord& out);
+
+  /// Resolves a RawRecord's dictionary ids into a full entry.
+  void materialize(const RawRecord& raw, trace::TraceEntry& out) const;
+
+  /// The segment's interned peer dictionary, for resolving a query's key
+  /// set to ids once per segment instead of hashing per entry.
+  const std::vector<crypto::PeerId>& peer_dictionary() const { return peers_; }
+
+  /// Number of interned CID keys in this segment.
+  std::size_t cid_key_count() const { return cid_spans_.size(); }
+
+  /// Decodes (and memoizes) one interned CID key. CIDs are variable-length
+  /// heap values, so unlike the peer dictionary they are decoded lazily —
+  /// a raw scan that matches nothing never pays for the CID dictionary at
+  /// all. `id` must be < cid_key_count().
+  const cid::Cid& cid_key(std::uint32_t id) const;
+
  private:
   SegmentReader() = default;
   bool parse_dictionaries(std::string* error);
+  util::BytesView body() const {
+    return mapping_.view().subspan(0, footer_.body_bytes);
+  }
+
+  /// Byte range of one interned CID inside the body.
+  struct KeySpan {
+    std::uint64_t offset = 0;
+    std::uint32_t length = 0;
+  };
 
   SegmentFooter footer_;
-  util::Bytes buffer_;  // whole segment file
+  SegmentMapping mapping_;
   std::vector<crypto::PeerId> peers_;
   std::vector<net::Address> addrs_;
-  std::vector<cid::Cid> cids_;
+  std::vector<KeySpan> cid_spans_;
+  mutable std::vector<cid::Cid> cids_;          // decoded on first touch
+  mutable std::vector<std::uint8_t> cid_done_;  // per-id decode flag
   std::size_t pos_ = 0;
   std::uint64_t remaining_ = 0;
   util::SimTime prev_time_ = 0;

@@ -332,6 +332,25 @@ std::string TraceStore::segment_path(std::size_t index) const {
   return (fs::path(dir_) / segments_[index].file).string();
 }
 
+SegmentOpenOptions TraceStore::open_options() const {
+  SegmentOpenOptions options;
+  options.backend = options_.io_backend;
+  options.validated = validation_cache();
+  return options;
+}
+
+ScanPool& TraceStore::scan_pool() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  if (shared_->pool == nullptr) {
+    shared_->pool = std::make_shared<ScanPool>(options_.scan_threads);
+  }
+  return *shared_->pool;
+}
+
+ValidationCache* TraceStore::validation_cache() const {
+  return options_.reuse_validation ? &shared_->validated : nullptr;
+}
+
 std::size_t TraceStore::prune_before(util::SimTime cutoff) {
   std::vector<Segment> kept;
   std::size_t removed = 0;

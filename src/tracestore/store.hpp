@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "tracestore/pool.hpp"
 #include "tracestore/segment.hpp"
 #include "trace/trace.hpp"
 
@@ -40,6 +41,16 @@ struct StoreOptions {
   /// Optional instrumentation/warning sink (counters + warn events).
   /// The store keeps the pointer; the Obs must outlive it.
   obs::Obs* obs = nullptr;
+  /// How readers get segment bytes: mmap when available (kAuto), or a
+  /// forced backend (the property tests pin both and compare).
+  IoBackend io_backend = IoBackend::kAuto;
+  /// Workers in the store's shared scan pool (0 = hardware concurrency).
+  /// The pool is created lazily on first use and lives with the store.
+  std::size_t scan_threads = 0;
+  /// Remember body-checksum validation across reads of unchanged sealed
+  /// segments (keyed by path + mtime + size), so repeat queries skip the
+  /// whole-body hash pass. Disable to re-verify on every open.
+  bool reuse_validation = true;
 };
 
 /// What crash recovery found and did in a store directory.
@@ -160,6 +171,19 @@ class TraceStore {
 
   std::string segment_path(std::size_t index) const;
 
+  /// Per-open options for SegmentReader: the configured I/O backend plus
+  /// this store's validation cache (when reuse is enabled). Everything a
+  /// reader of this store should pass to SegmentReader::open.
+  SegmentOpenOptions open_options() const;
+
+  /// The store's shared persistent scan pool (query executors and the
+  /// merge readers' read-ahead run on it). Created lazily, sized once
+  /// from options().scan_threads, and lives as long as the store.
+  ScanPool& scan_pool() const;
+
+  /// The cache behind open_options(); null when reuse_validation is off.
+  ValidationCache* validation_cache() const;
+
   /// Drops every segment whose entire time range lies before `cutoff`
   /// (file deleted, manifest rewritten atomically). Returns the number of
   /// segments removed.
@@ -173,10 +197,20 @@ class TraceStore {
   TraceStore() = default;
   bool rewrite_manifest() const;
 
+  /// Heap-shared read-path state, so TraceStore stays movable while the
+  /// lazily-created pool and the validation cache keep stable addresses.
+  struct SharedReadState {
+    std::mutex mu;  // guards pool creation
+    std::shared_ptr<ScanPool> pool;
+    ValidationCache validated;
+  };
+
   std::string dir_;
   StoreOptions options_;
   std::vector<Segment> segments_;
   mutable std::vector<std::string> warnings_;
+  std::shared_ptr<SharedReadState> shared_ =
+      std::make_shared<SharedReadState>();
 };
 
 /// Writes the manifest for `segments` into `dir` atomically. Shared by the
