@@ -8,8 +8,21 @@
 //
 // Usage: ipfsmon_queryd --store <dir> [--port N] [--bind ADDR]
 //                       [--workers N] [--cache N] [--no-rollups]
+//                       [--reload-interval SEC]
 //                       [--trace] [--trace-sample N] [--trace-export BASE]
+//        ipfsmon_queryd --coordinator <root> [--fed-port N] [...]
 //        ipfsmon_queryd --demo-store   (simulate, spill, unify, serve)
+//
+// --coordinator serves in federation-coordinator mode: an FMON listener
+// (--fed-port, default 7979; 0 = ephemeral) lands segments shipped by
+// ipfsmon_shipd into <root>/m-<id>/, and the HTTP side serves the unified
+// store (<root>/unified) with /v1/monitors and provenance on /v1/segments.
+//
+// SIGHUP re-opens the store (coordinator mode: re-unifies newly landed
+// segments first), so a daemon over a live store serves new segments
+// without restart; --reload-interval does the same on a timer. The cache
+// is keyed by the manifest fingerprint, so a reload invalidates every
+// cached answer implicitly.
 //
 // --trace enables request span tracing (served live on /debug/spans);
 // --trace-sample N records every Nth request (default 64; implies --trace);
@@ -18,6 +31,7 @@
 //
 // SIGINT/SIGTERM drain gracefully: in-flight requests finish, then the
 // listener and workers shut down.
+#include <poll.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -27,6 +41,7 @@
 #include <filesystem>
 #include <string>
 
+#include "federation/federated.hpp"
 #include "obs/span_export.hpp"
 #include "query/engine.hpp"
 #include "query/server.hpp"
@@ -41,6 +56,11 @@ int g_signal_pipe[2] = {-1, -1};
 
 void on_signal(int) {
   const char byte = 's';
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+void on_sighup(int) {
+  const char byte = 'h';
   [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
 }
 
@@ -98,9 +118,11 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --store <dir> [--port N] [--bind ADDR] "
                "[--workers N] [--cache N] [--no-rollups]\n"
-               "       %*s [--trace] [--trace-sample N] [--trace-export BASE]\n"
+               "       %*s [--reload-interval SEC] [--trace] "
+               "[--trace-sample N] [--trace-export BASE]\n"
+               "       %s --coordinator <root> [--fed-port N] [...]\n"
                "       %s --demo-store\n",
-               argv0, static_cast<int>(std::strlen(argv0)), "", argv0);
+               argv0, static_cast<int>(std::strlen(argv0)), "", argv0, argv0);
   return 1;
 }
 
@@ -108,8 +130,11 @@ int usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   std::string store_dir;
+  std::string coordinator_root;
   std::string trace_export_base;
   bool demo = false;
+  int reload_interval_s = 0;
+  std::uint16_t fed_port = 7979;
   query::QueryOptions query_options;
   query::ServerOptions server_options;
   server_options.port = 7878;
@@ -125,6 +150,18 @@ int main(int argc, char** argv) {
       store_dir = v;
     } else if (arg == "--demo-store") {
       demo = true;
+    } else if (arg == "--coordinator") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      coordinator_root = v;
+    } else if (arg == "--fed-port") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      fed_port = static_cast<std::uint16_t>(std::atoi(v));
+    } else if (arg == "--reload-interval") {
+      const char* v = value();
+      if (v == nullptr) return usage(argv[0]);
+      reload_interval_s = std::max(0, std::atoi(v));
     } else if (arg == "--port") {
       const char* v = value();
       if (v == nullptr) return usage(argv[0]);
@@ -165,14 +202,40 @@ int main(int argc, char** argv) {
     store_dir = make_demo_store();
     if (store_dir.empty()) return 1;
   }
-  if (store_dir.empty()) return usage(argv[0]);
+  if (store_dir.empty() && coordinator_root.empty()) return usage(argv[0]);
 
   std::string error;
-  auto service = query::QueryService::open(store_dir, query_options, &error);
-  if (service == nullptr) {
-    std::fprintf(stderr, "error: cannot open store %s: %s\n",
-                 store_dir.c_str(), error.c_str());
-    return 1;
+  std::unique_ptr<federation::FederatedService> federated;
+  std::unique_ptr<query::QueryService> owned_service;
+  query::QueryService* service = nullptr;
+  if (!coordinator_root.empty()) {
+    federation::FederatedOptions federated_options;
+    federated_options.coordinator.port = fed_port;
+    federated_options.query = query_options;
+    federated = federation::FederatedService::start(coordinator_root,
+                                                    federated_options, &error);
+    if (federated == nullptr) {
+      std::fprintf(stderr, "error: cannot start coordinator on %s: %s\n",
+                   coordinator_root.c_str(), error.c_str());
+      return 1;
+    }
+    service = &federated->query();
+    store_dir = federated->unified_dir();
+    for (const auto& note : federated->coordinator().recovery_notes()) {
+      std::printf("recovery: %s\n", note.c_str());
+    }
+    std::printf("coordinator on 127.0.0.1:%u, %zu monitors, root %s\n",
+                federated->coordinator().port(),
+                federated->monitors().size(), coordinator_root.c_str());
+  } else {
+    owned_service = query::QueryService::open(store_dir, query_options,
+                                              &error);
+    if (owned_service == nullptr) {
+      std::fprintf(stderr, "error: cannot open store %s: %s\n",
+                   store_dir.c_str(), error.c_str());
+      return 1;
+    }
+    service = owned_service.get();
   }
   std::printf("store %s: %zu segments, %llu entries, %zu/%zu rollups\n",
               store_dir.c_str(), service->store().segments().size(),
@@ -197,6 +260,9 @@ int main(int argc, char** argv) {
   action.sa_handler = on_signal;
   ::sigaction(SIGINT, &action, nullptr);
   ::sigaction(SIGTERM, &action, nullptr);
+  struct sigaction hup_action {};
+  hup_action.sa_handler = on_sighup;
+  ::sigaction(SIGHUP, &hup_action, nullptr);
 
   const std::string base = "http://" + server_options.bind_address + ":" +
                            std::to_string(server.port());
@@ -207,15 +273,57 @@ int main(int argc, char** argv) {
   std::printf("  curl '%s/v1/stats?min_t=0'\n", base.c_str());
   std::printf("  curl '%s/v1/popularity?k=5'\n", base.c_str());
   std::printf("  curl %s/v1/segments\n", base.c_str());
+  if (federated != nullptr) {
+    std::printf("  curl %s/v1/monitors\n", base.c_str());
+  }
   if (query_options.tracing.enabled) {
     std::printf("  curl %s/debug/spans   (tracing 1/%llu requests)\n",
                 base.c_str(),
                 static_cast<unsigned long long>(
                     query_options.tracing.sample_every));
   }
+  std::fflush(stdout);
 
-  char byte = 0;
-  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  // Re-open the store on SIGHUP or every --reload-interval seconds
+  // (coordinator mode re-unifies newly landed segments first); the store
+  // fingerprint rolls over, so cached answers invalidate implicitly.
+  auto reload = [&]() {
+    const std::uint64_t before = service->fingerprint();
+    std::string reload_error;
+    const bool ok = federated != nullptr ? federated->refresh(&reload_error)
+                                         : service->reload(&reload_error);
+    if (!ok) {
+      std::fprintf(stderr, "error: reload failed: %s\n", reload_error.c_str());
+      return;
+    }
+    // Periodic ticks mostly find nothing new; only log actual rollovers.
+    if (service->fingerprint() == before) return;
+    std::printf("reloaded: %zu segments, %llu entries\n",
+                service->store().segments().size(),
+                static_cast<unsigned long long>(
+                    service->store().total_entries()));
+    std::fflush(stdout);
+  };
+  for (;;) {
+    pollfd pfd{g_signal_pipe[0], POLLIN, 0};
+    const int timeout_ms =
+        reload_interval_s > 0 ? reload_interval_s * 1000 : -1;
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) {
+      reload();  // --reload-interval tick
+      continue;
+    }
+    char byte = 0;
+    if (::read(g_signal_pipe[0], &byte, 1) <= 0) break;
+    if (byte == 'h') {
+      reload();
+      continue;
+    }
+    break;  // SIGINT/SIGTERM
   }
   std::printf("\nshutting down (draining %zu in-flight connections)...\n",
               server.in_flight());

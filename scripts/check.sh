@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
 # Tier-1 verification: doc-drift gate (scripts/check_docs.sh), configure,
 # build, run the full test suite, then rebuild the obs + tracestore +
-# query + churn suites under AddressSanitizer
-# (`ctest -L 'obs|tracestore|query|churn'`) and the concurrent query +
-# tracestore suites plus churn and the span tracer under ThreadSanitizer
-# (`ctest -L 'obs|query|tracestore|churn'`).
+# query + churn + federation suites under AddressSanitizer
+# (`ctest -L 'obs|tracestore|query|churn|federation'`) and the same
+# concurrent suites under ThreadSanitizer.
 #
 # --perf-smoke additionally runs `exp_query_throughput --smoke`, which
 # fails when the warm watchlist scan rate drops below half the committed
 # floor in bench/query_smoke_floor.json (a >2x scan-path regression).
 #
+# --federation-smoke runs `exp_federation --smoke`: two shippers stream
+# into a live coordinator, one is killed mid-stream and restarted, and the
+# unified /v1/stats answer must equal the single-store ground truth.
+#
 # Usage: scripts/check.sh [--no-asan] [--no-tsan] [--perf-smoke]
+#                         [--federation-smoke]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,11 +22,13 @@ cd "$(dirname "$0")/.."
 RUN_ASAN=1
 RUN_TSAN=1
 RUN_PERF=0
+RUN_FED=0
 for arg in "$@"; do
   case "$arg" in
     --no-asan) RUN_ASAN=0 ;;
     --no-tsan) RUN_TSAN=0 ;;
     --perf-smoke) RUN_PERF=1 ;;
+    --federation-smoke) RUN_FED=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 1 ;;
   esac
 done
@@ -43,20 +49,28 @@ if [[ "$RUN_PERF" == "1" ]]; then
   build/bench/exp_query_throughput --smoke
 fi
 
+if [[ "$RUN_FED" == "1" ]]; then
+  echo "== federation smoke: exp_federation --smoke (kill a shipper mid-stream) =="
+  cmake --build build -j "$JOBS" --target exp_federation
+  build/bench/exp_federation --smoke
+fi
+
 if [[ "$RUN_ASAN" == "1" ]]; then
-  echo "== asan: obs + tracestore + query + churn suites under -DIPFSMON_SANITIZE=address =="
+  echo "== asan: obs + tracestore + query + churn + federation suites under -DIPFSMON_SANITIZE=address =="
   cmake -B build-asan -S . -DIPFSMON_SANITIZE=address >/dev/null
   cmake --build build-asan -j "$JOBS" --target obs_test span_test \
-    tracestore_test query_test churn_test trace_report
-  ctest --test-dir build-asan -L 'obs|tracestore|query|churn' --output-on-failure
+    tracestore_test query_test churn_test federation_test trace_report
+  ctest --test-dir build-asan -L 'obs|tracestore|query|churn|federation' \
+    --output-on-failure
 fi
 
 if [[ "$RUN_TSAN" == "1" ]]; then
-  echo "== tsan: obs + query + tracestore + churn suites under -DIPFSMON_SANITIZE=thread =="
+  echo "== tsan: obs + query + tracestore + churn + federation suites under -DIPFSMON_SANITIZE=thread =="
   cmake -B build-tsan -S . -DIPFSMON_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS" --target obs_test span_test \
-    query_test tracestore_test churn_test trace_report
-  ctest --test-dir build-tsan -L 'obs|query|tracestore|churn' --output-on-failure
+    query_test tracestore_test churn_test federation_test trace_report
+  ctest --test-dir build-tsan -L 'obs|query|tracestore|churn|federation' \
+    --output-on-failure
 fi
 
 echo "== all checks passed =="

@@ -1,13 +1,18 @@
 #include "query/client.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace ipfsmon::query {
 
@@ -38,7 +43,34 @@ int connect_to(const std::string& host, std::uint16_t port, int timeout_ms,
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
     return fail("inet_pton", fd);
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  // SO_SNDTIMEO does not bound connect(); a daemon that is down but
+  // dropping SYNs would block for the kernel's default (minutes). Connect
+  // non-blocking and poll with the caller's timeout instead.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (timeout_ms > 0 && flags >= 0) {
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      if (errno != EINPROGRESS) return fail("connect", fd);
+      pollfd pfd{fd, POLLOUT, 0};
+      int ready = 0;
+      do {
+        ready = ::poll(&pfd, 1, timeout_ms);
+      } while (ready < 0 && errno == EINTR);
+      if (ready <= 0) {
+        errno = ready == 0 ? ETIMEDOUT : errno;
+        return fail("connect", fd);
+      }
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+          so_error != 0) {
+        errno = so_error != 0 ? so_error : errno;
+        return fail("connect", fd);
+      }
+    }
+    ::fcntl(fd, F_SETFL, flags);
+  } else if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr)) != 0) {
     return fail("connect", fd);
   }
   const int one = 1;
@@ -89,6 +121,25 @@ std::optional<HttpResponse> http_get(const std::string& host,
   auto response = parse_response(raw);
   if (!response && error != nullptr) *error = "unparseable response";
   return response;
+}
+
+std::optional<HttpResponse> http_get_retry(const std::string& host,
+                                           std::uint16_t port,
+                                           const std::string& target,
+                                           const HttpRetryPolicy& policy,
+                                           int timeout_ms, std::string* error) {
+  const std::size_t attempts = std::max<std::size_t>(1, policy.max_attempts);
+  int delay_ms = policy.initial_delay_ms;
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      delay_ms = std::min(policy.max_delay_ms,
+                          static_cast<int>(delay_ms * policy.multiplier));
+    }
+    auto response = http_get(host, port, target, timeout_ms, error);
+    if (response) return response;
+  }
+  return std::nullopt;
 }
 
 std::optional<std::string> raw_exchange(const std::string& host,

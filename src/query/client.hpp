@@ -1,6 +1,13 @@
 // A tiny blocking HTTP client for loopback use: the query tests drive the
 // daemon end-to-end with it, and the throughput bench uses it as the load
 // generator. One request per call, "Connection: close" framing.
+//
+// Connects carry a real timeout (non-blocking connect + poll — SO_SNDTIMEO
+// does not bound connect()), and reads/writes are bounded by
+// SO_RCVTIMEO/SNDTIMEO. http_get_retry() adds capped exponential-backoff
+// retries mirroring net::BackoffPolicy / churn's dial_with_backoff
+// discipline in wall-clock time, so shippers and bench harnesses survive a
+// coordinator or daemon that is not up yet.
 #pragma once
 
 #include <cstdint>
@@ -11,12 +18,35 @@
 
 namespace ipfsmon::query {
 
+/// Wall-clock twin of net::BackoffPolicy (same shape and defaults scaled
+/// to milliseconds; jitter is omitted — a blocking client retries alone,
+/// there is no thundering herd to spread).
+struct HttpRetryPolicy {
+  int initial_delay_ms = 100;
+  double multiplier = 2.0;
+  int max_delay_ms = 2000;
+  /// Total attempts (first try included). 0 behaves like 1.
+  std::size_t max_attempts = 6;
+};
+
 /// GET `target` from host:port; nullopt on connect/IO/parse failure.
+/// `timeout_ms` bounds the connect and each read/write.
 std::optional<HttpResponse> http_get(const std::string& host,
                                      std::uint16_t port,
                                      const std::string& target,
                                      int timeout_ms = 5000,
                                      std::string* error = nullptr);
+
+/// http_get with capped exponential-backoff retries: a failed connect or
+/// exchange sleeps initial_delay_ms, then multiplier× (capped at
+/// max_delay_ms) before the next attempt, up to max_attempts total.
+/// `error` reports the last attempt's failure.
+std::optional<HttpResponse> http_get_retry(const std::string& host,
+                                           std::uint16_t port,
+                                           const std::string& target,
+                                           const HttpRetryPolicy& policy = {},
+                                           int timeout_ms = 5000,
+                                           std::string* error = nullptr);
 
 /// Sends `bytes` verbatim and returns everything the server answers until
 /// it closes (or the timeout hits). For malformed-request tests. When

@@ -114,7 +114,7 @@ std::uint64_t hash_str(std::uint64_t seed, std::string_view text) {
 std::string endpoint_label(const std::string& path) {
   if (path == "/healthz" || path == "/metrics" || path == "/v1/stats" ||
       path == "/v1/popularity" || path == "/v1/segments" ||
-      path == "/debug/spans") {
+      path == "/v1/monitors" || path == "/debug/spans") {
     return path;
   }
   const std::string_view prefix = "/v1/peers/";
@@ -204,6 +204,11 @@ void QueryService::attach_server(const HttpServer* server) {
   std::lock_guard<std::mutex> lock(mu_);
   server_ = server;
   mirrored_ = ServerCounters{};
+}
+
+void QueryService::attach_federation(FederationSource* source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  federation_ = source;
 }
 
 std::size_t QueryService::rollups_loaded() const {
@@ -423,6 +428,7 @@ HttpResponse QueryService::route(const HttpRequest& request) {
   if (path == "/v1/stats") return handle_stats(request);
   if (path == "/v1/popularity") return handle_popularity(request);
   if (path == "/v1/segments") return handle_segments();
+  if (path == "/v1/monitors") return handle_monitors();
   if (path == "/debug/spans") return handle_debug_spans(request);
   const std::string_view prefix = "/v1/peers/";
   const std::string_view suffix = "/wants";
@@ -489,6 +495,10 @@ HttpResponse QueryService::handle_metrics() {
   HttpResponse response;
   response.content_type = "text/plain; version=0.0.4";
   response.body = obs::to_prometheus(obs_.metrics);
+  // The coordinator's registry is separate (it is written from connection
+  // threads, which the engine's single-threaded registry cannot host), so
+  // its rendered snapshot is appended to make one Prometheus page.
+  if (federation_ != nullptr) response.body += federation_->metrics_text();
   return response;
 }
 
@@ -691,6 +701,56 @@ HttpResponse QueryService::handle_segments() {
           rollups_[i]->buckets.size());
     }
     body += '}';
+  }
+  body += ']';
+  if (federation_ != nullptr) {
+    // Provenance: the served (unified) segments above are merged data;
+    // the sources array ties them back to the vantage-point segments that
+    // were shipped in, with monitor id + vantage per row.
+    body += ",\"federated\":true,\"sources\":[";
+    const auto sources = federation_->segment_sources();
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      const auto& source = sources[i];
+      if (i != 0) body += ',';
+      body += util::format(
+          "{\"monitor\":%u,\"vantage\":\"%s\",\"file\":\"%s\","
+          "\"entries\":%llu,\"min_time\":%lld,\"max_time\":%lld,"
+          "\"checksum\":\"%016llx\"}",
+          source.monitor_id, source.vantage.c_str(), source.file.c_str(),
+          static_cast<unsigned long long>(source.entries),
+          static_cast<long long>(source.min_time),
+          static_cast<long long>(source.max_time),
+          static_cast<unsigned long long>(source.checksum));
+    }
+    body += ']';
+  }
+  body += '}';
+  HttpResponse response;
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse QueryService::handle_monitors() {
+  // Deliberately uncached: the ship/ack watermarks move with every landed
+  // segment, independent of the served store's fingerprint.
+  if (federation_ == nullptr) {
+    return error_response(404, "not serving a federated store");
+  }
+  std::string body = "{\"monitors\":[";
+  const auto monitors = federation_->monitors();
+  for (std::size_t i = 0; i < monitors.size(); ++i) {
+    const auto& monitor = monitors[i];
+    if (i != 0) body += ',';
+    body += util::format(
+        "{\"id\":%u,\"vantage\":\"%s\",\"segments\":%llu,"
+        "\"entries\":%llu,\"bytes\":%llu,\"last_ship_wall_us\":%lld,"
+        "\"last_lag_us\":%lld}",
+        monitor.id, monitor.vantage.c_str(),
+        static_cast<unsigned long long>(monitor.segments),
+        static_cast<unsigned long long>(monitor.entries),
+        static_cast<unsigned long long>(monitor.bytes),
+        static_cast<long long>(monitor.last_ship_wall_us),
+        static_cast<long long>(monitor.last_lag_us));
   }
   body += "]}";
   HttpResponse response;

@@ -88,6 +88,42 @@ struct RangeStats {
 enum class StatsSource { kRollup, kMixed, kScan };
 std::string_view to_string(StatsSource source);
 
+/// What a federation coordinator exposes to the engine. Implemented by
+/// src/federation (FederatedService); declared here so query never depends
+/// on the federation layer. All methods are called under the service mutex
+/// and must be safe against concurrent coordinator activity.
+class FederationSource {
+ public:
+  /// One vantage-point monitor's provenance row (/v1/monitors).
+  struct Monitor {
+    std::uint32_t id = 0;
+    std::string vantage;
+    std::uint64_t segments = 0;
+    std::uint64_t entries = 0;
+    std::uint64_t bytes = 0;
+    std::int64_t last_ship_wall_us = 0;  // ship/ack watermark (unix µs)
+    std::int64_t last_lag_us = 0;        // latest replication lag (µs)
+  };
+  /// One landed per-monitor segment — the /v1/segments "sources" rows
+  /// tying unified data back to the vantage point that shipped it.
+  struct SegmentSource {
+    std::uint32_t monitor_id = 0;
+    std::string vantage;
+    std::string file;
+    std::uint64_t entries = 0;
+    util::SimTime min_time = 0;
+    util::SimTime max_time = 0;
+    std::uint64_t checksum = 0;
+  };
+
+  virtual ~FederationSource() = default;
+  virtual std::vector<Monitor> monitors() = 0;
+  virtual std::vector<SegmentSource> segment_sources() = 0;
+  /// Prometheus text appended to /metrics (the coordinator owns its own
+  /// registry — obs registries are single-threaded by design).
+  virtual std::string metrics_text() = 0;
+};
+
 class QueryService {
  public:
   /// Opens the store in `dir` and loads every rollup sidecar. Returns
@@ -113,6 +149,11 @@ class QueryService {
   /// Mirror `server`'s counters into the obs registry at /metrics render
   /// time (optional; the daemon wires this after start()).
   void attach_server(const HttpServer* server);
+
+  /// Serve in federated mode: enables /v1/monitors, provenance sources on
+  /// /v1/segments, and appends the coordinator's metrics to /metrics.
+  /// `source` must outlive the service.
+  void attach_federation(FederationSource* source);
 
   const tracestore::TraceStore& store() const { return *store_; }
   obs::Obs& obs() { return obs_; }
@@ -140,6 +181,7 @@ class QueryService {
   HttpResponse handle_peer_wants(const HttpRequest& request,
                                  const std::string& peer_text);
   HttpResponse handle_segments();
+  HttpResponse handle_monitors();
   HttpResponse handle_debug_spans(const HttpRequest& request);
 
   /// Runs a scan under a "query.scan" span; when the current request is
@@ -164,6 +206,7 @@ class QueryService {
   std::uint64_t fingerprint_ = 0;
 
   const HttpServer* server_ = nullptr;  // counters mirrored at /metrics
+  FederationSource* federation_ = nullptr;  // federated mode when set
   ServerCounters mirrored_;             // last values pushed into obs_
   std::uint64_t mirrored_cache_hits_ = 0;
   std::uint64_t mirrored_cache_misses_ = 0;

@@ -348,7 +348,9 @@ ScanPool& TraceStore::scan_pool() const {
 }
 
 ValidationCache* TraceStore::validation_cache() const {
-  return options_.reuse_validation ? &shared_->validated : nullptr;
+  if (!options_.reuse_validation) return nullptr;
+  if (options_.shared_validation != nullptr) return options_.shared_validation;
+  return &shared_->validated;
 }
 
 std::size_t TraceStore::prune_before(util::SimTime cutoff) {

@@ -51,6 +51,11 @@ struct StoreOptions {
   /// segments (keyed by path + mtime + size), so repeat queries skip the
   /// whole-body hash pass. Disable to re-verify on every open.
   bool reuse_validation = true;
+  /// Use this cache instead of the store's own (reuse_validation must be
+  /// on). Lets a federation coordinator verify a landed segment once and
+  /// have every serving TraceStore opened over the same directory skip the
+  /// re-validation pass. The cache must outlive the store.
+  ValidationCache* shared_validation = nullptr;
 };
 
 /// What crash recovery found and did in a store directory.
