@@ -241,6 +241,18 @@ int main(int argc, char** argv) {
               store_dir.c_str(), service->store().segments().size(),
               static_cast<unsigned long long>(service->store().total_entries()),
               service->rollups_loaded(), service->store().segments().size());
+  if (const auto& meta = service->store().meta()) {
+    // Ingested from a real capture: anchor the SimTime axis for operators.
+    std::printf("ingested from %s (%s), wall epoch %s, range %s .. %s\n",
+                meta->source.c_str(), meta->format.c_str(),
+                util::format_wall_time(meta->wall_epoch_ns).c_str(),
+                util::format_wall_time(meta->wall_epoch_ns +
+                                       service->store().min_time())
+                    .c_str(),
+                util::format_wall_time(meta->wall_epoch_ns +
+                                       service->store().max_time())
+                    .c_str());
+  }
 
   query::HttpServer server(server_options,
                            [&service](const query::HttpRequest& request) {

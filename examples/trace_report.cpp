@@ -190,6 +190,17 @@ int report_stores(const std::vector<std::string>& dirs,
                 static_cast<unsigned long long>(store->total_entries()),
                 store->segments().size(),
                 static_cast<double>(store->total_bytes()) / (1024.0 * 1024.0));
+    if (const auto& meta = store->meta()) {
+      // Ingested from a real capture: report the wall-clock anchoring.
+      std::printf("  ingested from %s (%s), wall range %s .. %s\n",
+                  meta->source.c_str(), meta->format.c_str(),
+                  util::format_wall_time(meta->wall_epoch_ns +
+                                         store->min_time())
+                      .c_str(),
+                  util::format_wall_time(meta->wall_epoch_ns +
+                                         store->max_time())
+                      .c_str());
+    }
     stores.push_back(std::move(*store));
   }
 
@@ -212,6 +223,26 @@ int report_stores(const std::vector<std::string>& dirs,
   if (!writer->finalize()) {
     std::fprintf(stderr, "error: failed to finalize %s\n", unified_dir.c_str());
     return 1;
+  }
+  // Ingested inputs carry a wall-clock epoch; propagate it to the unified
+  // scratch store when it is unambiguous (all inputs agree).
+  {
+    const tracestore::StoreMeta* common = nullptr;
+    bool consistent = true;
+    for (const auto& s : stores) {
+      if (!s.meta()) continue;
+      if (common == nullptr) {
+        common = &*s.meta();
+      } else if (common->wall_epoch_ns != s.meta()->wall_epoch_ns) {
+        consistent = false;
+      }
+    }
+    if (common != nullptr && consistent) {
+      tracestore::write_store_meta(unified_dir, *common);
+    } else if (common != nullptr) {
+      std::printf("note: input stores disagree on wall epoch; unified store "
+                  "left unanchored\n");
+    }
   }
   std::printf("unified out-of-core into %s: %llu entries, "
               "peak window state %zu keys\n",

@@ -13,8 +13,13 @@
 # into a live coordinator, one is killed mid-stream and restarted, and the
 # unified /v1/stats answer must equal the single-store ground truth.
 #
+# --ingest-smoke ingests the committed capture fixtures in tests/data/
+# (plain, gzip, and a corrupted variant under --lenient) and requires the
+# deterministic replay checksum to match tests/data/capture_small.checksum,
+# then runs `exp_ingest_replay --smoke` against the committed ingest floor.
+#
 # Usage: scripts/check.sh [--no-asan] [--no-tsan] [--perf-smoke]
-#                         [--federation-smoke]
+#                         [--federation-smoke] [--ingest-smoke]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,12 +28,14 @@ RUN_ASAN=1
 RUN_TSAN=1
 RUN_PERF=0
 RUN_FED=0
+RUN_INGEST=0
 for arg in "$@"; do
   case "$arg" in
     --no-asan) RUN_ASAN=0 ;;
     --no-tsan) RUN_TSAN=0 ;;
     --perf-smoke) RUN_PERF=1 ;;
     --federation-smoke) RUN_FED=1 ;;
+    --ingest-smoke) RUN_INGEST=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 1 ;;
   esac
 done
@@ -55,22 +62,54 @@ if [[ "$RUN_FED" == "1" ]]; then
   build/bench/exp_federation --smoke
 fi
 
+if [[ "$RUN_INGEST" == "1" ]]; then
+  echo "== ingest smoke: committed fixtures -> ingest -> deterministic replay =="
+  cmake --build build -j "$JOBS" --target ipfsmon_ingest_cli exp_ingest_replay
+  SCRATCH="$(mktemp -d)"
+  trap 'rm -rf "$SCRATCH"' EXIT
+  WANT="$(cat tests/data/capture_small.checksum)"
+  build/examples/ipfsmon_ingest --capture tests/data/capture_small.ndjson \
+    --store "$SCRATCH/plain"
+  build/examples/ipfsmon_ingest --replay "$SCRATCH/plain" \
+    --expect-checksum "$WANT"
+  build/examples/ipfsmon_ingest --capture tests/data/capture_small.ndjson.gz \
+    --store "$SCRATCH/gzip"
+  build/examples/ipfsmon_ingest --replay "$SCRATCH/gzip" \
+    --expect-checksum "$WANT"
+  # The corrupted fixture is capture_small plus garbage lines: strict must
+  # refuse it, lenient must quarantine the garbage and replay identically.
+  # (--format ndjson: the fixture's very first line is garbage, so format
+  # auto-sniffing cannot be trusted to see NDJSON.)
+  if build/examples/ipfsmon_ingest --capture tests/data/capture_corrupt.ndjson \
+       --format ndjson --store "$SCRATCH/strict" >/dev/null 2>&1; then
+    echo "strict ingest of the corrupt fixture unexpectedly succeeded" >&2
+    exit 1
+  fi
+  build/examples/ipfsmon_ingest --capture tests/data/capture_corrupt.ndjson \
+    --format ndjson --store "$SCRATCH/lenient" --lenient
+  build/examples/ipfsmon_ingest --replay "$SCRATCH/lenient" \
+    --expect-checksum "$WANT"
+  build/bench/exp_ingest_replay --smoke
+fi
+
 if [[ "$RUN_ASAN" == "1" ]]; then
-  echo "== asan: obs + tracestore + query + churn + federation suites under -DIPFSMON_SANITIZE=address =="
+  echo "== asan: obs + tracestore + ingest + query + churn + federation suites under -DIPFSMON_SANITIZE=address =="
   cmake -B build-asan -S . -DIPFSMON_SANITIZE=address >/dev/null
   cmake --build build-asan -j "$JOBS" --target obs_test span_test \
-    tracestore_test query_test churn_test federation_test trace_report
-  ctest --test-dir build-asan -L 'obs|tracestore|query|churn|federation' \
-    --output-on-failure
+    tracestore_test ingest_test query_test churn_test federation_test \
+    trace_report
+  ctest --test-dir build-asan \
+    -L 'obs|tracestore|ingest|query|churn|federation' --output-on-failure
 fi
 
 if [[ "$RUN_TSAN" == "1" ]]; then
-  echo "== tsan: obs + query + tracestore + churn + federation suites under -DIPFSMON_SANITIZE=thread =="
+  echo "== tsan: obs + query + tracestore + ingest + churn + federation suites under -DIPFSMON_SANITIZE=thread =="
   cmake -B build-tsan -S . -DIPFSMON_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "$JOBS" --target obs_test span_test \
-    query_test tracestore_test churn_test federation_test trace_report
-  ctest --test-dir build-tsan -L 'obs|query|tracestore|churn|federation' \
-    --output-on-failure
+    query_test tracestore_test ingest_test churn_test federation_test \
+    trace_report
+  ctest --test-dir build-tsan \
+    -L 'obs|query|tracestore|ingest|churn|federation' --output-on-failure
 fi
 
 echo "== all checks passed =="

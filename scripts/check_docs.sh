@@ -12,7 +12,10 @@
 #      /v1/* routes in BOTH README.md and DESIGN.md (they are public API),
 #      the rest in at least one of the two;
 #   6. every long-running daemon binary (examples/ipfsmon_*) must be
-#      documented in BOTH README.md and DESIGN.md.
+#      documented in BOTH README.md and DESIGN.md;
+#   7. every smoke gate scripts/check.sh offers (--*-smoke) must be
+#      documented in README.md, and the fixture/floor files the gate
+#      reads must exist.
 #
 # Run directly or via scripts/check.sh. Exit 0 = docs in sync.
 set -euo pipefail
@@ -108,6 +111,22 @@ for daemon_src in examples/ipfsmon_*.cpp; do
       err "daemon ${daemon} (${daemon_src}) is not documented in ${doc}"
     fi
   done
+done
+
+# --- 7. check.sh smoke gates are documented and their inputs exist ---------
+smokes="$(grep -oE -- '--[a-z]+-smoke' scripts/check.sh | sort -u)"
+for smoke in $smokes; do
+  if ! grep -q -- "$smoke" README.md; then
+    err "scripts/check.sh offers ${smoke}, but README.md does not mention it"
+  fi
+done
+# Files check.sh reads from the tree (committed fixtures, smoke floors).
+inputs="$(grep -oE '(tests/data|bench)/[A-Za-z0-9_.]+\.(json|ndjson|gz|checksum)' \
+            scripts/check.sh | sort -u)"
+for input in $inputs; do
+  if [[ ! -e "$input" ]]; then
+    err "scripts/check.sh reads ${input}, but it does not exist in the tree"
+  fi
 done
 
 if [[ "$fail" != 0 ]]; then

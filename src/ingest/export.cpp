@@ -1,0 +1,59 @@
+#include "ingest/export.hpp"
+
+#include "ingest/stream.hpp"
+#include "tracestore/merge.hpp"
+#include "util/strings.hpp"
+
+namespace ipfsmon::ingest {
+
+std::optional<ExportStats> export_capture(const tracestore::TraceStore& store,
+                                          const std::string& path,
+                                          const ExportOptions& options,
+                                          std::string* error) {
+  const CaptureFormat format = options.format == CaptureFormat::kAuto
+                                   ? CaptureFormat::kNdjson
+                                   : options.format;
+  auto writer = LineWriter::open(path, options.gzip, error);
+  if (writer == nullptr) return std::nullopt;
+
+  ExportStats stats;
+  std::vector<std::string> vantage_by_id;
+  if (store.meta()) {
+    stats.wall_epoch_ns = store.meta()->wall_epoch_ns;
+    for (const auto& [name, id] : store.meta()->monitors) {
+      if (id >= vantage_by_id.size()) vantage_by_id.resize(id + 1);
+      vantage_by_id[id] = name;
+    }
+  }
+  const auto vantage_for = [&](trace::MonitorId id) -> std::string {
+    if (id < vantage_by_id.size() && !vantage_by_id[id].empty()) {
+      return vantage_by_id[id];
+    }
+    return util::format("m%u", id);
+  };
+
+  bool ok = true;
+  if (format == CaptureFormat::kCsv) ok = writer->write(csv_capture_header());
+  tracestore::StoreCursor cursor(store);
+  trace::TraceEntry entry;
+  while (ok && cursor.next(entry)) {
+    CaptureRecord record;
+    record.wall_ns = stats.wall_epoch_ns + entry.timestamp;
+    record.peer = entry.peer;
+    record.address = entry.address;
+    record.type = entry.type;
+    record.cid = entry.cid;
+    record.vantage = vantage_for(entry.monitor);
+    ok = writer->write(format == CaptureFormat::kCsv
+                           ? format_csv_record(record)
+                           : format_ndjson_record(record));
+    ++stats.entries;
+  }
+  if (!ok || !writer->close()) {
+    if (error != nullptr) *error = "write failed: " + path;
+    return std::nullopt;
+  }
+  return stats;
+}
+
+}  // namespace ipfsmon::ingest

@@ -1,0 +1,35 @@
+// Capture export: the inverse of ingest. Streams a trace store back out as
+// an NDJSON or CSV capture file (optionally gzip-compressed), restoring
+// wall-clock timestamps from the store's STOREMETA epoch (SimTime 0 for
+// simulated stores without one) and vantage names from its monitor map.
+// Used to build test/bench fixtures from simulated runs and to prove the
+// ingest round-trip: export(ingest(capture)) reproduces the capture's
+// records exactly.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ingest/capture.hpp"
+#include "tracestore/store.hpp"
+
+namespace ipfsmon::ingest {
+
+struct ExportOptions {
+  CaptureFormat format = CaptureFormat::kNdjson;  // kAuto = kNdjson
+  bool gzip = false;
+};
+
+struct ExportStats {
+  std::uint64_t entries = 0;
+  util::WallNanos wall_epoch_ns = 0;
+};
+
+/// Writes every entry of `store` (in time order, all monitors merged) to
+/// `path` as capture lines. Returns nullopt on IO failure.
+std::optional<ExportStats> export_capture(const tracestore::TraceStore& store,
+                                          const std::string& path,
+                                          const ExportOptions& options = {},
+                                          std::string* error = nullptr);
+
+}  // namespace ipfsmon::ingest

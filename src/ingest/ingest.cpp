@@ -1,0 +1,486 @@
+#include "ingest/ingest.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "ingest/stream.hpp"
+#include "tracestore/merge.hpp"
+#include "util/strings.hpp"
+
+namespace fs = std::filesystem;
+
+namespace ipfsmon::ingest {
+
+namespace {
+
+constexpr char kCheckpointName[] = "INGEST.ckpt";
+constexpr char kCheckpointHeader[] = "ipfsmon-ingest-ckpt v1";
+constexpr char kRejectsName[] = "rejects.rej";
+
+/// Everything a resumed run needs to continue mid-capture.
+struct Checkpoint {
+  std::string source;       // capture file name the checkpoint belongs to
+  std::uint64_t offset = 0; // uncompressed byte offset reached
+  std::uint64_t lines = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t unordered = 0;
+  util::WallNanos epoch = 0;
+  util::SimTime last_sim = 0;
+  std::vector<std::pair<std::string, trace::MonitorId>> monitors;
+};
+
+bool parse_u64(const std::string& text, std::uint64_t* out) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+bool parse_i64(const std::string& text, std::int64_t* out) {
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+std::string checkpoint_path(const std::string& dir) {
+  return (fs::path(dir) / kCheckpointName).string();
+}
+
+bool write_checkpoint(const std::string& dir, const Checkpoint& ckpt,
+                      std::string* error) {
+  const fs::path tmp = fs::path(dir) / (std::string(kCheckpointName) + ".tmp");
+  {
+    std::ofstream out(tmp);
+    if (!out) {
+      if (error != nullptr) *error = "cannot open " + tmp.string();
+      return false;
+    }
+    out << kCheckpointHeader << '\n'
+        << "source=" << ckpt.source << '\n'
+        << "offset=" << ckpt.offset << '\n'
+        << "lines=" << ckpt.lines << '\n'
+        << "entries=" << ckpt.entries << '\n'
+        << "rejected=" << ckpt.rejected << '\n'
+        << "unordered=" << ckpt.unordered << '\n'
+        << "epoch=" << ckpt.epoch << '\n'
+        << "last_sim=" << ckpt.last_sim << '\n';
+    for (const auto& [name, id] : ckpt.monitors) {
+      out << "monitor=" << id << ':' << name << '\n';
+    }
+    if (!out) {
+      if (error != nullptr) *error = "short write to " + tmp.string();
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, checkpoint_path(dir), ec);
+  if (ec) {
+    if (error != nullptr) *error = "rename checkpoint: " + ec.message();
+    return false;
+  }
+  return true;
+}
+
+std::optional<Checkpoint> read_checkpoint(const std::string& dir) {
+  std::ifstream in(checkpoint_path(dir));
+  if (!in) return std::nullopt;
+  std::string line;
+  if (!std::getline(in, line) || line != kCheckpointHeader) {
+    return std::nullopt;
+  }
+  Checkpoint ckpt;
+  while (std::getline(in, line)) {
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    bool ok = true;
+    if (key == "source") {
+      ckpt.source = value;
+    } else if (key == "offset") {
+      ok = parse_u64(value, &ckpt.offset);
+    } else if (key == "lines") {
+      ok = parse_u64(value, &ckpt.lines);
+    } else if (key == "entries") {
+      ok = parse_u64(value, &ckpt.entries);
+    } else if (key == "rejected") {
+      ok = parse_u64(value, &ckpt.rejected);
+    } else if (key == "unordered") {
+      ok = parse_u64(value, &ckpt.unordered);
+    } else if (key == "epoch") {
+      ok = parse_i64(value, &ckpt.epoch);
+    } else if (key == "last_sim") {
+      ok = parse_i64(value, &ckpt.last_sim);
+    } else if (key == "monitor") {
+      const auto colon = value.find(':');
+      std::uint64_t id = 0;
+      ok = colon != std::string::npos &&
+           parse_u64(value.substr(0, colon), &id);
+      if (ok) {
+        ckpt.monitors.emplace_back(value.substr(colon + 1),
+                                   static_cast<trace::MonitorId>(id));
+      }
+    }
+    if (!ok) return std::nullopt;
+  }
+  return ckpt;
+}
+
+/// Deterministic vantage -> MonitorId assignment: pre-seeded ids first,
+/// then first-appearance order.
+class MonitorMap {
+ public:
+  explicit MonitorMap(
+      const std::vector<std::pair<std::string, trace::MonitorId>>& seed) {
+    for (const auto& [name, id] : seed) assign(name, id);
+  }
+
+  trace::MonitorId id_for(const std::string& vantage) {
+    for (const auto& [name, id] : monitors_) {
+      if (name == vantage) return id;
+    }
+    trace::MonitorId next = 0;
+    for (const auto& [name, id] : monitors_) next = std::max(next, id + 1);
+    assign(vantage, next);
+    return next;
+  }
+
+  /// In id order, for STOREMETA and stats.
+  std::vector<std::pair<std::string, trace::MonitorId>> sorted() const {
+    auto out = monitors_;
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.second < b.second; });
+    return out;
+  }
+
+ private:
+  void assign(const std::string& name, trace::MonitorId id) {
+    for (const auto& [existing, _] : monitors_) {
+      if (existing == name) return;
+    }
+    monitors_.emplace_back(name, id);
+  }
+
+  std::vector<std::pair<std::string, trace::MonitorId>> monitors_;
+};
+
+CaptureFormat sniff_format(std::string_view first_line) {
+  std::size_t pos = 0;
+  while (pos < first_line.size() &&
+         (first_line[pos] == ' ' || first_line[pos] == '\t')) {
+    ++pos;
+  }
+  return pos < first_line.size() && first_line[pos] == '{'
+             ? CaptureFormat::kNdjson
+             : CaptureFormat::kCsv;
+}
+
+}  // namespace
+
+std::string rejects_path(const std::string& store_dir) {
+  return (fs::path(store_dir) / kRejectsName).string();
+}
+
+std::optional<IngestStats> ingest_capture(const std::string& capture_path,
+                                          const std::string& store_dir,
+                                          const IngestOptions& options,
+                                          std::string* error) {
+  const auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+
+  std::string io_error;
+  auto reader = LineReader::open(capture_path, &io_error);
+  if (reader == nullptr) return fail(io_error);
+
+  const std::string source = fs::path(capture_path).filename().string();
+
+  // --- Resume or start clean ------------------------------------------------
+  tracestore::StoreOptions store_options = options.store;
+  store_options.obs = options.obs;
+  std::unique_ptr<tracestore::SegmentWriter> writer;
+  std::optional<Checkpoint> resume_from;
+  if (options.resume) {
+    if (auto ckpt = read_checkpoint(store_dir);
+        ckpt && ckpt->source == source) {
+      tracestore::RecoveryReport report;
+      std::string resume_error;
+      auto resumed = tracestore::SegmentWriter::resume(
+          store_dir, store_options, &report, &resume_error);
+      // Trust the checkpoint only when the recovered store matches it
+      // exactly — a torn tail segment past the checkpoint would otherwise
+      // double-ingest its entries.
+      if (resumed != nullptr && report.entries_recovered == ckpt->entries) {
+        writer = std::move(resumed);
+        resume_from = std::move(*ckpt);
+      }
+    }
+  }
+  if (writer == nullptr) {
+    std::string create_error;
+    writer = tracestore::SegmentWriter::create(store_dir, store_options,
+                                               &create_error);
+    if (writer == nullptr) return fail(create_error);
+  }
+
+  IngestStats stats;
+  MonitorMap monitors(resume_from ? resume_from->monitors : options.monitors);
+  trace::PreprocessOptions preprocess = options.preprocess;
+  tracestore::StreamingFlagger flagger(preprocess);
+  std::optional<util::WallNanos> epoch = options.epoch;
+  util::SimTime last_sim = 0;
+  bool have_last = false;
+
+  if (resume_from) {
+    if (!reader->skip_to(resume_from->offset)) {
+      return fail("cannot seek capture to checkpoint offset " +
+                  std::to_string(resume_from->offset) +
+                  (reader->error().empty() ? "" : ": " + reader->error()));
+    }
+    stats.resumed = true;
+    stats.resumed_entries = resume_from->entries;
+    stats.lines = resume_from->lines;
+    stats.rejected = resume_from->rejected;
+    stats.unordered = resume_from->unordered;
+    epoch = resume_from->epoch;
+    last_sim = resume_from->last_sim;
+    have_last = resume_from->entries > 0;
+    // Re-prime the duplicate-window state from the recovered tail so flags
+    // stay exact across the resume boundary: every recovered entry within
+    // the widest window of the checkpoint must pass through the flagger.
+    // Checkpoints seal segments, so the window can straddle several
+    // trailing segments — walk back by footer max_time, then replay
+    // forward in segment order.
+    if (options.mark_flags && !writer->dir().empty()) {
+      const auto widest = std::max(preprocess.inter_monitor_window,
+                                   preprocess.rebroadcast_window);
+      const util::SimTime horizon = last_sim - widest;
+      if (auto store = tracestore::TraceStore::open(store_dir, store_options);
+          store && !store->segments().empty()) {
+        std::size_t first = store->segments().size();
+        while (first > 0 &&
+               store->segments()[first - 1].footer.max_time >= horizon) {
+          --first;
+        }
+        for (std::size_t i = first; i < store->segments().size(); ++i) {
+          if (auto seg =
+                  tracestore::SegmentReader::open(store->segment_path(i))) {
+            trace::TraceEntry entry;
+            while (seg->next(entry)) {
+              if (entry.timestamp >= horizon) flagger.mark(entry);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // --- Reject sink (lenient mode) -------------------------------------------
+  std::ofstream rejects;
+  obs::Counter* rejected_counter = nullptr;
+  obs::Counter* unordered_counter = nullptr;
+  obs::Counter* entries_counter = nullptr;
+  if (options.obs != nullptr) {
+    rejected_counter = &options.obs->metrics.counter(
+        "ipfsmon_ingest_rejected_lines_total",
+        "Malformed capture lines quarantined during ingest");
+    unordered_counter = &options.obs->metrics.counter(
+        "ipfsmon_ingest_unordered_total",
+        "Capture records with backwards timestamps clamped during ingest");
+    entries_counter = &options.obs->metrics.counter(
+        "ipfsmon_ingest_entries_total", "Capture records ingested");
+  }
+  const auto reject = [&](std::uint64_t line_number, const std::string& line,
+                          const std::string& why) {
+    ++stats.rejected;
+    if (rejected_counter != nullptr) rejected_counter->inc();
+    if (!rejects.is_open()) {
+      rejects.open(rejects_path(store_dir),
+                   stats.resumed ? std::ios::app : std::ios::trunc);
+    }
+    if (rejects.is_open()) {
+      rejects << "# line " << line_number << ": " << why << '\n'
+              << line << '\n';
+    }
+  };
+
+  // --- Main loop ------------------------------------------------------------
+  const auto publish_checkpoint = [&](std::uint64_t offset,
+                                      IngestStats* s,
+                                      std::string* ckpt_error) -> bool {
+    if (!writer->checkpoint()) {
+      *ckpt_error = "segment flush failed at checkpoint (see warnings)";
+      return false;
+    }
+    Checkpoint ckpt;
+    ckpt.source = source;
+    ckpt.offset = offset;
+    ckpt.lines = s->lines;
+    ckpt.entries = writer->entries_written();
+    ckpt.rejected = s->rejected;
+    ckpt.unordered = s->unordered;
+    ckpt.epoch = *epoch;
+    ckpt.last_sim = last_sim;
+    ckpt.monitors = monitors.sorted();
+    if (!write_checkpoint(store_dir, ckpt, ckpt_error)) return false;
+    ++s->checkpoints;
+    return true;
+  };
+
+  CaptureFormat format = options.format;
+  std::optional<CsvLayout> csv;
+  std::string line;
+  std::uint64_t since_checkpoint = 0;
+  const std::uint64_t start_offset = reader->offset();
+  bool first_record = !resume_from.has_value();
+
+  while (reader->next(&line)) {
+    const std::uint64_t line_end_offset = reader->offset();
+    if (line.empty()) continue;
+    ++stats.lines;
+
+    if (format == CaptureFormat::kAuto) format = sniff_format(line);
+    if (format == CaptureFormat::kCsv && !csv) {
+      std::string header_error;
+      csv = CsvLayout::from_header(line, &header_error);
+      if (!csv) return fail(header_error);
+      continue;  // header line carries no record
+    }
+
+    CaptureRecord record;
+    std::string parse_error;
+    const bool parsed =
+        format == CaptureFormat::kNdjson
+            ? parse_ndjson_record(line, &record, &parse_error)
+            : csv->parse(line, &record, &parse_error);
+    if (!parsed) {
+      if (!options.lenient) {
+        return fail(util::format("%s line %llu: %s", source.c_str(),
+                                 static_cast<unsigned long long>(stats.lines),
+                                 parse_error.c_str()));
+      }
+      reject(stats.lines, line, parse_error);
+      continue;
+    }
+
+    if (!epoch) epoch = record.wall_ns;  // first accepted record anchors t=0
+    util::SimTime sim = record.wall_ns - *epoch;
+    if ((have_last && sim < last_sim) || sim < 0) {
+      if (!options.lenient) {
+        return fail(util::format(
+            "%s line %llu: timestamp goes backwards (%s); re-run with "
+            "--lenient to clamp",
+            source.c_str(), static_cast<unsigned long long>(stats.lines),
+            util::format_wall_time(record.wall_ns).c_str()));
+      }
+      ++stats.unordered;
+      if (unordered_counter != nullptr) unordered_counter->inc();
+      sim = have_last ? last_sim : 0;
+    }
+    last_sim = sim;
+    have_last = true;
+
+    trace::TraceEntry entry;
+    entry.timestamp = sim;
+    entry.peer = record.peer;
+    entry.address = record.address;
+    entry.type = record.type;
+    entry.cid = record.cid;
+    entry.monitor = monitors.id_for(record.vantage);
+    if (options.mark_flags) flagger.mark(entry);
+    writer->append(entry);
+    if (entries_counter != nullptr) entries_counter->inc();
+    if (first_record) {
+      stats.min_time = sim;
+      first_record = false;
+    }
+    stats.max_time = sim;
+
+    // --- Durability checkpoint ---------------------------------------------
+    ++since_checkpoint;
+    if (options.checkpoint_every > 0 &&
+        since_checkpoint >= options.checkpoint_every) {
+      since_checkpoint = 0;
+      std::string ckpt_error;
+      if (!publish_checkpoint(line_end_offset, &stats, &ckpt_error)) {
+        return fail(ckpt_error);
+      }
+    }
+
+    // --- Bounded sample: stop resumable instead of finalizing --------------
+    if (options.max_entries > 0 &&
+        writer->entries_written() >= options.max_entries) {
+      std::string ckpt_error;
+      if (!publish_checkpoint(line_end_offset, &stats, &ckpt_error)) {
+        return fail(ckpt_error);
+      }
+      writer->abandon();  // everything is flushed; suppress finalize()
+      stats.truncated = true;
+      stats.bytes = reader->offset() - start_offset;
+      stats.format = format;
+      stats.wall_epoch_ns = *epoch;
+      stats.monitors = monitors.sorted();
+      if (auto store =
+              tracestore::TraceStore::open(store_dir, store_options)) {
+        stats.min_time = store->min_time();
+        stats.max_time = store->max_time();
+        stats.entries = store->total_entries();
+      }
+      return stats;
+    }
+  }
+  if (!reader->error().empty()) {
+    return fail(capture_path + ": " + reader->error());
+  }
+  if (stats.lines == (resume_from ? resume_from->lines : 0) && !resume_from) {
+    return fail(capture_path + ": empty capture");
+  }
+
+  stats.bytes = reader->offset() - start_offset;
+  stats.format = format;
+  stats.entries = writer->entries_written();
+  stats.wall_epoch_ns = epoch.value_or(0);
+  stats.monitors = monitors.sorted();
+  if (resume_from && resume_from->entries > 0 &&
+      stats.entries == resume_from->entries) {
+    // Nothing new past the checkpoint; keep the recovered range.
+  }
+
+  if (!writer->finalize()) {
+    return fail("finalize failed: a segment or manifest write failed");
+  }
+
+  tracestore::StoreMeta meta;
+  meta.wall_epoch_ns = stats.wall_epoch_ns;
+  meta.source = source;
+  meta.format = std::string(capture_format_name(format));
+  meta.monitors = stats.monitors;
+  std::string meta_error;
+  if (!tracestore::write_store_meta(store_dir, meta, &meta_error)) {
+    return fail(meta_error);
+  }
+
+  // The store is complete; the checkpoint has served its purpose.
+  std::error_code ec;
+  fs::remove(checkpoint_path(store_dir), ec);
+
+  // Recompute the full range for resumed runs (min_time predates us).
+  if (auto store = tracestore::TraceStore::open(store_dir, store_options)) {
+    stats.min_time = store->min_time();
+    stats.max_time = store->max_time();
+    stats.entries = store->total_entries();
+  }
+  return stats;
+}
+
+}  // namespace ipfsmon::ingest

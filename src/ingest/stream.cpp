@@ -1,0 +1,281 @@
+#include "ingest/stream.hpp"
+
+#include <cstdio>
+#include <vector>
+
+#if defined(IPFSMON_HAVE_ZLIB)
+#include <zlib.h>
+#endif
+
+namespace ipfsmon::ingest {
+
+namespace {
+
+/// Shared line assembly over a "fill my buffer" primitive.
+class BufferedLineReader : public LineReader {
+ public:
+  bool next(std::string* line) override {
+    line->clear();
+    if (!error_.empty()) return false;
+    bool saw_any = false;
+    while (true) {
+      if (pos_ == buffer_.size()) {
+        buffer_.clear();
+        pos_ = 0;
+        if (!fill(&buffer_) || buffer_.empty()) {
+          // Clean EOF: hand out a final unterminated line if one is
+          // pending.
+          return saw_any && error_.empty();
+        }
+      }
+      const std::size_t nl = buffer_.find('\n', pos_);
+      if (nl == std::string::npos) {
+        line->append(buffer_, pos_, buffer_.size() - pos_);
+        offset_ += buffer_.size() - pos_;
+        pos_ = buffer_.size();
+        saw_any = true;
+        continue;
+      }
+      line->append(buffer_, pos_, nl - pos_);
+      offset_ += (nl - pos_) + 1;  // + the newline itself
+      pos_ = nl + 1;
+      return true;
+    }
+  }
+
+  std::uint64_t offset() const override { return offset_; }
+
+ protected:
+  /// Appends the next chunk of decoded bytes; false on error (error_ set)
+  /// or clean EOF (out left empty).
+  virtual bool fill(std::string* out) = 0;
+
+ private:
+  std::string buffer_;
+  std::size_t pos_ = 0;
+  std::uint64_t offset_ = 0;
+};
+
+class PlainLineReader final : public BufferedLineReader {
+ public:
+  explicit PlainLineReader(std::FILE* file) : file_(file) {}
+  ~PlainLineReader() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  bool compressed() const override { return false; }
+
+ protected:
+  bool fill(std::string* out) override {
+    char chunk[1 << 16];
+    const std::size_t n = std::fread(chunk, 1, sizeof(chunk), file_);
+    if (n == 0) {
+      if (std::ferror(file_)) {
+        error_ = "read error";
+        return false;
+      }
+      return true;  // EOF
+    }
+    out->append(chunk, n);
+    return true;
+  }
+
+ private:
+  std::FILE* file_;
+};
+
+#if defined(IPFSMON_HAVE_ZLIB)
+class GzipLineReader final : public BufferedLineReader {
+ public:
+  explicit GzipLineReader(std::FILE* file) : file_(file) {
+    stream_.zalloc = Z_NULL;
+    stream_.zfree = Z_NULL;
+    stream_.opaque = Z_NULL;
+    // 15 window bits + 16: gzip wrapper only.
+    ok_ = inflateInit2(&stream_, 15 + 16) == Z_OK;
+  }
+  ~GzipLineReader() override {
+    if (ok_) inflateEnd(&stream_);
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  bool ok() const { return ok_; }
+  bool compressed() const override { return true; }
+
+ protected:
+  bool fill(std::string* out) override {
+    if (!ok_ || done_) return done_;
+    char decoded[1 << 16];
+    while (out->empty()) {
+      if (stream_.avail_in == 0) {
+        const std::size_t n = std::fread(input_, 1, sizeof(input_), file_);
+        if (n == 0) {
+          if (std::ferror(file_)) {
+            error_ = "read error";
+            return false;
+          }
+          if (member_open_) {
+            error_ = "truncated gzip stream";
+            return false;
+          }
+          done_ = true;
+          return true;
+        }
+        stream_.next_in = reinterpret_cast<Bytef*>(input_);
+        stream_.avail_in = static_cast<uInt>(n);
+      }
+      stream_.next_out = reinterpret_cast<Bytef*>(decoded);
+      stream_.avail_out = sizeof(decoded);
+      const int rc = inflate(&stream_, Z_NO_FLUSH);
+      if (rc != Z_OK && rc != Z_STREAM_END) {
+        error_ = std::string("inflate: ") +
+                 (stream_.msg != nullptr ? stream_.msg : "corrupt gzip data");
+        return false;
+      }
+      member_open_ = rc != Z_STREAM_END;
+      out->append(decoded, sizeof(decoded) - stream_.avail_out);
+      if (rc == Z_STREAM_END) {
+        // Concatenated members: reset and keep going on remaining input.
+        if (stream_.avail_in == 0 && std::feof(file_)) {
+          done_ = true;
+          return true;
+        }
+        if (inflateReset(&stream_) != Z_OK) {
+          error_ = "inflate reset failed";
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::FILE* file_;
+  z_stream stream_{};
+  char input_[1 << 16];
+  bool ok_ = false;
+  bool done_ = false;
+  bool member_open_ = false;
+};
+#endif  // IPFSMON_HAVE_ZLIB
+
+class PlainLineWriter final : public LineWriter {
+ public:
+  explicit PlainLineWriter(std::FILE* file) : file_(file) {}
+  ~PlainLineWriter() override { close(); }
+
+  bool write(std::string_view line) override {
+    if (file_ == nullptr) return false;
+    return std::fwrite(line.data(), 1, line.size(), file_) == line.size() &&
+           std::fputc('\n', file_) != EOF;
+  }
+
+  bool close() override {
+    if (file_ == nullptr) return true;
+    const bool ok = std::fclose(file_) == 0;
+    file_ = nullptr;
+    return ok;
+  }
+
+ private:
+  std::FILE* file_;
+};
+
+#if defined(IPFSMON_HAVE_ZLIB)
+class GzipLineWriter final : public LineWriter {
+ public:
+  explicit GzipLineWriter(gzFile file) : file_(file) {}
+  ~GzipLineWriter() override { close(); }
+
+  bool write(std::string_view line) override {
+    if (file_ == nullptr) return false;
+    if (!line.empty() &&
+        gzwrite(file_, line.data(), static_cast<unsigned>(line.size())) !=
+            static_cast<int>(line.size())) {
+      return false;
+    }
+    return gzputc(file_, '\n') != -1;
+  }
+
+  bool close() override {
+    if (file_ == nullptr) return true;
+    const bool ok = gzclose(file_) == Z_OK;
+    file_ = nullptr;
+    return ok;
+  }
+
+ private:
+  gzFile file_;
+};
+#endif  // IPFSMON_HAVE_ZLIB
+
+}  // namespace
+
+bool gzip_supported() {
+#if defined(IPFSMON_HAVE_ZLIB)
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::unique_ptr<LineReader> LineReader::open(const std::string& path,
+                                             std::string* error) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return nullptr;
+  }
+  const int b0 = std::fgetc(file);
+  const int b1 = std::fgetc(file);
+  std::rewind(file);
+  const bool gzip = b0 == 0x1f && b1 == 0x8b;
+  if (!gzip) return std::make_unique<PlainLineReader>(file);
+#if defined(IPFSMON_HAVE_ZLIB)
+  auto reader = std::make_unique<GzipLineReader>(file);
+  if (!reader->ok()) {
+    if (error != nullptr) *error = "zlib init failed for " + path;
+    return nullptr;
+  }
+  return reader;
+#else
+  std::fclose(file);
+  if (error != nullptr) {
+    *error = path + " is gzip-compressed but this build has no zlib";
+  }
+  return nullptr;
+#endif
+}
+
+bool LineReader::skip_to(std::uint64_t target) {
+  std::string line;
+  while (offset() < target) {
+    if (!next(&line)) return false;
+  }
+  return offset() == target;
+}
+
+std::unique_ptr<LineWriter> LineWriter::open(const std::string& path,
+                                             bool gzip, std::string* error) {
+  if (!gzip) {
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    if (file == nullptr) {
+      if (error != nullptr) *error = "cannot open " + path;
+      return nullptr;
+    }
+    return std::make_unique<PlainLineWriter>(file);
+  }
+#if defined(IPFSMON_HAVE_ZLIB)
+  gzFile file = gzopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return nullptr;
+  }
+  return std::make_unique<GzipLineWriter>(file);
+#else
+  if (error != nullptr) {
+    *error = "gzip output requested but this build has no zlib";
+  }
+  return nullptr;
+#endif
+}
+
+}  // namespace ipfsmon::ingest

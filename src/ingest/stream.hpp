@@ -1,0 +1,68 @@
+// Capture byte streams: line-oriented readers/writers over plain or
+// gzip-compressed files. The reader sniffs the gzip magic, inflates
+// incrementally (multi-member archives included — rotated captures are
+// often concatenated), and tracks the *uncompressed* byte offset of every
+// line so ingest checkpoints are meaningful for both encodings. gzip
+// support is compiled in only when zlib is available (IPFSMON_HAVE_ZLIB);
+// without it, opening a gzip capture fails with a clear error instead of
+// garbage.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace ipfsmon::ingest {
+
+class LineReader {
+ public:
+  virtual ~LineReader() = default;
+
+  /// Opens `path`, sniffing the two-byte gzip magic. Returns nullptr on
+  /// open failure or when the file is gzip but zlib support is absent.
+  static std::unique_ptr<LineReader> open(const std::string& path,
+                                          std::string* error = nullptr);
+
+  /// Reads the next line (without the trailing '\n'; a final unterminated
+  /// line is returned too). False at end of input or after a stream error.
+  virtual bool next(std::string* line) = 0;
+
+  /// Uncompressed byte offset of the first unread byte — i.e. of the line
+  /// the next next() call would return.
+  virtual std::uint64_t offset() const = 0;
+
+  /// Decompresses and discards bytes until `offset`; false when the stream
+  /// ends (or errors) first. Only forward skips are supported.
+  bool skip_to(std::uint64_t offset);
+
+  /// Set when the underlying stream went bad mid-read (truncated gzip
+  /// member, inflate error); empty after a clean end of input.
+  const std::string& error() const { return error_; }
+
+  virtual bool compressed() const = 0;
+
+ protected:
+  std::string error_;
+};
+
+/// Line-oriented writer, gzip-compressing when `gzip` is set (requires
+/// zlib support; fails at open otherwise).
+class LineWriter {
+ public:
+  virtual ~LineWriter() = default;
+
+  static std::unique_ptr<LineWriter> open(const std::string& path, bool gzip,
+                                          std::string* error = nullptr);
+
+  /// Appends `line` plus '\n'. False on write failure.
+  virtual bool write(std::string_view line) = 0;
+
+  /// Flushes (and for gzip, finishes the member). False on failure; the
+  /// destructor also closes, but silently.
+  virtual bool close() = 0;
+};
+
+/// True when the build carries zlib (gzip captures readable/writable).
+bool gzip_supported();
+
+}  // namespace ipfsmon::ingest

@@ -67,13 +67,28 @@ bool read_time_param(const HttpRequest& request, const char* name,
   return true;
 }
 
-std::string render_stats_json(const RangeStats& stats, util::SimTime min_t,
+/// Wall-clock fields for stores ingested from real captures (STOREMETA
+/// present): the epoch anchoring SimTime 0 plus the queried range rendered
+/// as ISO 8601. Empty for simulated stores, so their JSON is unchanged.
+std::string render_wall_fields(const tracestore::TraceStore& store,
+                               util::SimTime min_t, util::SimTime max_t) {
+  if (!store.meta()) return {};
+  const util::WallNanos epoch = store.meta()->wall_epoch_ns;
+  return util::format(
+      ",\"wall_epoch_ns\":%lld,\"wall_min\":\"%s\",\"wall_max\":\"%s\"",
+      static_cast<long long>(epoch),
+      util::format_wall_time(epoch + min_t).c_str(),
+      util::format_wall_time(epoch + max_t).c_str());
+}
+
+std::string render_stats_json(const tracestore::TraceStore& store,
+                              const RangeStats& stats, util::SimTime min_t,
                               util::SimTime max_t) {
   return util::format(
       "{\"min_time\":%lld,\"max_time\":%lld,\"total\":%llu,"
       "\"requests\":%llu,\"want_have\":%llu,\"want_block\":%llu,"
       "\"cancels\":%llu,\"duplicates\":%llu,\"rebroadcasts\":%llu,"
-      "\"clean\":%llu}",
+      "\"clean\":%llu%s}",
       static_cast<long long>(min_t), static_cast<long long>(max_t),
       static_cast<unsigned long long>(stats.total),
       static_cast<unsigned long long>(stats.want_have + stats.want_block),
@@ -82,7 +97,8 @@ std::string render_stats_json(const RangeStats& stats, util::SimTime min_t,
       static_cast<unsigned long long>(stats.cancels),
       static_cast<unsigned long long>(stats.duplicates),
       static_cast<unsigned long long>(stats.rebroadcasts),
-      static_cast<unsigned long long>(stats.clean));
+      static_cast<unsigned long long>(stats.clean),
+      render_wall_fields(store, min_t, max_t).c_str());
 }
 
 std::string_view json_want_type(bitswap::WantType type) {
@@ -443,13 +459,20 @@ HttpResponse QueryService::route(const HttpRequest& request) {
 }
 
 HttpResponse QueryService::handle_healthz() {
+  std::string ingested;
+  if (store_->meta()) {
+    ingested = util::format(
+        ",\"wall_epoch\":\"%s\",\"capture\":\"%s\"",
+        util::format_wall_time(store_->meta()->wall_epoch_ns).c_str(),
+        store_->meta()->source.c_str());
+  }
   HttpResponse response;
   response.body = util::format(
       "{\"status\":\"ok\",\"segments\":%zu,\"entries\":%llu,"
-      "\"rollups\":%zu,\"warnings\":%zu}",
+      "\"rollups\":%zu,\"warnings\":%zu%s}",
       store_->segments().size(),
       static_cast<unsigned long long>(store_->total_entries()),
-      rollups_loaded_locked(), store_->warnings().size());
+      rollups_loaded_locked(), store_->warnings().size(), ingested.c_str());
   return response;
 }
 
@@ -565,7 +588,7 @@ HttpResponse QueryService::handle_stats(const HttpRequest& request) {
                            {{"source", std::string(to_string(source))},
                             {"forced", force_scan ? "1" : "0"}});
     }
-    return CachedResponse{render_stats_json(stats, min_t, max_t),
+    return CachedResponse{render_stats_json(*store_, stats, min_t, max_t),
                           "application/json",
                           std::string(to_string(source))};
   });
@@ -734,6 +757,22 @@ HttpResponse QueryService::handle_monitors() {
   // Deliberately uncached: the ship/ack watermarks move with every landed
   // segment, independent of the served store's fingerprint.
   if (federation_ == nullptr) {
+    // Not federated — but an ingested store still knows its vantage
+    // points (STOREMETA), so serve the static mapping.
+    if (store_->meta() && !store_->meta()->monitors.empty()) {
+      std::string body = "{\"monitors\":[";
+      const auto& monitors = store_->meta()->monitors;
+      for (std::size_t i = 0; i < monitors.size(); ++i) {
+        if (i != 0) body += ',';
+        body += util::format("{\"id\":%u,\"vantage\":\"%s\"}",
+                             monitors[i].second, monitors[i].first.c_str());
+      }
+      body += util::format("],\"capture\":\"%s\"}",
+                           store_->meta()->source.c_str());
+      HttpResponse response;
+      response.body = std::move(body);
+      return response;
+    }
     return error_response(404, "not serving a federated store");
   }
   std::string body = "{\"monitors\":[";

@@ -1,6 +1,7 @@
 #include "tracestore/store.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -17,6 +18,8 @@ namespace {
 
 constexpr char kManifestName[] = "MANIFEST";
 constexpr char kManifestHeader[] = "ipfsmon-tracestore v1";
+constexpr char kStoreMetaName[] = "STOREMETA";
+constexpr char kStoreMetaHeader[] = "ipfsmon-storemeta v1";
 
 std::string segment_name(std::size_t index) {
   return util::format("seg-%06zu.seg", index);
@@ -58,6 +61,79 @@ bool write_manifest(
     return false;
   }
   return true;
+}
+
+// --- Store metadata ---------------------------------------------------------
+
+bool write_store_meta(const std::string& dir, const StoreMeta& meta,
+                      std::string* error) {
+  const fs::path tmp = fs::path(dir) / (std::string(kStoreMetaName) + ".tmp");
+  {
+    std::ofstream out(tmp);
+    if (!out) {
+      if (error != nullptr) *error = "cannot open " + tmp.string();
+      return false;
+    }
+    out << kStoreMetaHeader << '\n';
+    out << "wall_epoch_ns=" << meta.wall_epoch_ns << '\n';
+    if (!meta.source.empty()) out << "source=" << meta.source << '\n';
+    if (!meta.format.empty()) out << "format=" << meta.format << '\n';
+    for (const auto& [name, id] : meta.monitors) {
+      out << "monitor=" << id << ':' << name << '\n';
+    }
+    if (!out) {
+      if (error != nullptr) *error = "short write to " + tmp.string();
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, fs::path(dir) / kStoreMetaName, ec);
+  if (ec) {
+    if (error != nullptr) *error = "rename storemeta: " + ec.message();
+    return false;
+  }
+  return true;
+}
+
+std::optional<StoreMeta> read_store_meta(const std::string& dir) {
+  std::ifstream in(fs::path(dir) / kStoreMetaName);
+  if (!in) return std::nullopt;
+  std::string line;
+  if (!std::getline(in, line) || line != kStoreMetaHeader) return std::nullopt;
+  StoreMeta meta;
+  while (std::getline(in, line)) {
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key == "wall_epoch_ns") {
+      errno = 0;
+      char* end = nullptr;
+      const long long parsed = std::strtoll(value.c_str(), &end, 10);
+      if (errno != 0 || end == value.c_str() || *end != '\0') {
+        return std::nullopt;
+      }
+      meta.wall_epoch_ns = parsed;
+    } else if (key == "source") {
+      meta.source = value;
+    } else if (key == "format") {
+      meta.format = value;
+    } else if (key == "monitor") {
+      const auto colon = value.find(':');
+      if (colon == std::string::npos) return std::nullopt;
+      errno = 0;
+      char* end = nullptr;
+      const std::string id_text = value.substr(0, colon);
+      const long long id = std::strtoll(id_text.c_str(), &end, 10);
+      if (errno != 0 || end == id_text.c_str() || *end != '\0' || id < 0) {
+        return std::nullopt;
+      }
+      meta.monitors.emplace_back(value.substr(colon + 1),
+                                 static_cast<std::uint32_t>(id));
+    }
+    // Unknown keys are skipped so newer writers stay readable.
+  }
+  return meta;
 }
 
 // --- Crash recovery ---------------------------------------------------------
@@ -142,6 +218,9 @@ SegmentWriter::SegmentWriter(std::string dir, StoreOptions options)
     entries_counter_ =
         &reg.counter("ipfsmon_tracestore_entries_written_total",
                      "Trace entries spilled into stores");
+    unordered_counter_ =
+        &reg.counter("ipfsmon_tracestore_unordered_appends_total",
+                     "Appends that went backwards in time (see append())");
     flush_bytes_ = &reg.histogram(
         "ipfsmon_tracestore_segment_bytes",
         obs::exponential_buckets(4096, 4.0, 8),
@@ -158,11 +237,15 @@ std::unique_ptr<SegmentWriter> SegmentWriter::create(const std::string& dir,
     if (error != nullptr) *error = "mkdir " + dir + ": " + ec.message();
     return nullptr;
   }
-  // Start clean: drop any segments/manifest from a previous run.
+  // Start clean: drop any segments/manifest from a previous run, plus the
+  // ingest sidecars (metadata, checkpoint, quarantined rejects) that would
+  // otherwise describe data this writer is about to erase.
   for (const auto& entry : fs::directory_iterator(dir, ec)) {
     const std::string name = entry.path().filename().string();
-    if (name == kManifestName || name.ends_with(".seg") ||
-        name.ends_with(".rollup") || name.ends_with(".tmp")) {
+    if (name == kManifestName || name == kStoreMetaName ||
+        name.ends_with(".seg") || name.ends_with(".rollup") ||
+        name.ends_with(".tmp") || name.ends_with(".ckpt") ||
+        name.ends_with(".rej")) {
       fs::remove(entry.path(), ec);
     }
   }
@@ -190,6 +273,12 @@ SegmentWriter::~SegmentWriter() {
 }
 
 void SegmentWriter::append(const trace::TraceEntry& entry) {
+  if (entries_written_ > 0 && entry.timestamp < last_timestamp_) {
+    ++unordered_appends_;
+    if (unordered_counter_ != nullptr) unordered_counter_->inc();
+  } else {
+    last_timestamp_ = entry.timestamp;
+  }
   if (!open_.empty()) {
     const util::SimTime first = open_.entries().front().timestamp;
     if (open_.size() >= options_.max_entries_per_segment ||
@@ -253,6 +342,17 @@ bool SegmentWriter::finalize() {
   return !failed_;
 }
 
+bool SegmentWriter::checkpoint() {
+  if (finalized_) return !failed_;
+  flush_open_segment();
+  std::string error;
+  if (!write_manifest(dir_, segments_, &error)) {
+    failed_ = true;
+    obs_warn(options_.obs, "manifest write failed: " + error);
+  }
+  return !failed_;
+}
+
 // --- TraceStore -------------------------------------------------------------
 
 std::optional<TraceStore> TraceStore::open(const std::string& dir,
@@ -291,6 +391,7 @@ std::optional<TraceStore> TraceStore::open(const std::string& dir,
     segment.file_bytes = ec ? 0 : bytes;
     store.segments_.push_back(std::move(segment));
   }
+  store.meta_ = read_store_meta(dir);
   return store;
 }
 

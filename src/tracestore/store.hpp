@@ -23,8 +23,33 @@
 #include "tracestore/pool.hpp"
 #include "tracestore/segment.hpp"
 #include "trace/trace.hpp"
+#include "util/walltime.hpp"
 
 namespace ipfsmon::tracestore {
+
+/// Optional store-level metadata sidecar ("STOREMETA", key=value text,
+/// written atomically). Simulated stores don't have one; ingest writes it
+/// so consumers can anchor the store's SimTime axis back to wall-clock
+/// time: wall time = wall_epoch_ns + SimTime. Absence is not an error —
+/// readers treat such stores as purely simulated.
+struct StoreMeta {
+  /// Unix nanoseconds corresponding to SimTime 0 in this store.
+  util::WallNanos wall_epoch_ns = 0;
+  /// Where the entries came from ("capture.ndjson.gz", ...), display only.
+  std::string source;
+  /// Capture format the store was ingested from ("ndjson", "csv", ...).
+  std::string format;
+  /// Vantage-point names and the MonitorId each was assigned during
+  /// ingest, in id order ("us" -> 0, "de" -> 1, ...).
+  std::vector<std::pair<std::string, std::uint32_t>> monitors;
+};
+
+/// Writes `<dir>/STOREMETA` via write-to-temp + rename.
+bool write_store_meta(const std::string& dir, const StoreMeta& meta,
+                      std::string* error = nullptr);
+
+/// Reads `<dir>/STOREMETA`; nullopt when absent or unparsable.
+std::optional<StoreMeta> read_store_meta(const std::string& dir);
 
 struct StoreOptions {
   /// Roll the open segment after this many entries...
@@ -106,13 +131,30 @@ class SegmentWriter {
   SegmentWriter& operator=(const SegmentWriter&) = delete;
 
   /// Buffers `entry`, flushing a completed segment when a cap is hit.
+  ///
   /// Entries are expected in non-decreasing time order (monitor recording
-  /// order); the footer time range is computed from the data either way.
+  /// order). The footer time range is computed from the data either way,
+  /// so footers never lie — but out-of-order input degrades the store:
+  /// segment time ranges may overlap (weakening time-range pruning and
+  /// breaking StoreCursor's segments-are-time-ordered merge invariant) and
+  /// the time-span roll cap is measured from the segment's *first* entry,
+  /// not its minimum. Such appends are therefore counted (obs counter
+  /// `ipfsmon_tracestore_unordered_appends_total` and
+  /// unordered_appends()); producers that cannot trust their input order —
+  /// real-capture ingest above all — must reject or clamp before
+  /// appending (see ingest::IngestOptions::lenient).
   void append(const trace::TraceEntry& entry);
 
   /// Flushes the open segment and atomically publishes the manifest.
   /// Idempotent; append() may not be called afterwards.
   bool finalize();
+
+  /// Durability point: flushes the open segment (if any) and publishes the
+  /// manifest like finalize(), but keeps the writer appendable. After a
+  /// crash, everything appended before the last checkpoint() survives
+  /// recover_store_dir() intact. Ingest writes its resume checkpoint right
+  /// after calling this. Returns false when any flush has failed.
+  bool checkpoint();
 
   /// Simulates a crash: the buffered (unflushed) entries are discarded and
   /// finalize() becomes a no-op, leaving already-flushed segments on disk
@@ -123,6 +165,8 @@ class SegmentWriter {
   const std::string& dir() const { return dir_; }
   std::uint64_t entries_written() const { return entries_written_; }
   std::uint64_t segments_written() const { return segments_.size(); }
+  /// Appends that went backwards in time (see append()).
+  std::uint64_t unordered_appends() const { return unordered_appends_; }
   /// Set when any flush failed; finalize() also returns false then.
   bool failed() const { return failed_; }
 
@@ -139,11 +183,14 @@ class SegmentWriter {
   // file name.
   std::size_t next_index_ = 0;
   std::uint64_t entries_written_ = 0;
+  std::uint64_t unordered_appends_ = 0;
+  util::SimTime last_timestamp_ = 0;
   bool finalized_ = false;
   bool failed_ = false;
 
   obs::Counter* segments_counter_ = nullptr;
   obs::Counter* entries_counter_ = nullptr;
+  obs::Counter* unordered_counter_ = nullptr;
   obs::Histogram* flush_bytes_ = nullptr;
 };
 
@@ -168,6 +215,10 @@ class TraceStore {
   const std::vector<Segment>& segments() const { return segments_; }
   const std::vector<std::string>& warnings() const { return warnings_; }
   const StoreOptions& options() const { return options_; }
+  /// Store-level metadata (wall-clock epoch, capture source) when a
+  /// STOREMETA sidecar is present — i.e. when this store was ingested from
+  /// a real capture. nullopt for simulated stores.
+  const std::optional<StoreMeta>& meta() const { return meta_; }
 
   std::uint64_t total_entries() const;
   std::uint64_t total_bytes() const;
@@ -213,6 +264,7 @@ class TraceStore {
   std::string dir_;
   StoreOptions options_;
   std::vector<Segment> segments_;
+  std::optional<StoreMeta> meta_;
   mutable std::vector<std::string> warnings_;
   std::shared_ptr<SharedReadState> shared_ =
       std::make_shared<SharedReadState>();

@@ -1,0 +1,215 @@
+#include "util/walltime.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ipfsmon::util {
+
+namespace {
+
+constexpr std::int64_t kNsPerSec = 1000000000ll;
+
+/// Days since 1970-01-01 for a proleptic-Gregorian civil date
+/// (Howard Hinnant's days_from_civil, public domain).
+std::int64_t days_from_civil(std::int64_t y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);            // [0, 399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0, 146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+/// Inverse of days_from_civil.
+void civil_from_days(std::int64_t z, std::int64_t* y, unsigned* m, unsigned* d) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);  // [0, 146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;  // [0, 399]
+  const std::int64_t year = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                       // [0, 11]
+  *d = doy - (153 * mp + 2) / 5 + 1;
+  *m = mp + (mp < 10 ? 3 : -9);
+  *y = year + (*m <= 2);
+}
+
+/// Parses a fixed-width unsigned decimal field; advances *pos past it.
+bool parse_digits(std::string_view text, std::size_t* pos, std::size_t width,
+                  std::int64_t* out) {
+  if (*pos + width > text.size()) return false;
+  std::int64_t value = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    const char c = text[*pos + i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+  }
+  *pos += width;
+  *out = value;
+  return true;
+}
+
+/// ".fraction" → nanoseconds (up to 9 digits kept, the rest ignored).
+bool parse_fraction(std::string_view text, std::size_t* pos,
+                    std::int64_t* out_ns) {
+  *out_ns = 0;
+  if (*pos >= text.size() || text[*pos] != '.') return true;  // optional
+  ++*pos;
+  std::int64_t value = 0;
+  int digits = 0;
+  while (*pos < text.size() && std::isdigit(static_cast<unsigned char>(text[*pos]))) {
+    if (digits < 9) {
+      value = value * 10 + (text[*pos] - '0');
+      ++digits;
+    }
+    ++*pos;
+  }
+  if (digits == 0) return false;  // "12." with no digits
+  while (digits < 9) {
+    value *= 10;
+    ++digits;
+  }
+  *out_ns = value;
+  return true;
+}
+
+std::optional<WallNanos> parse_iso8601(std::string_view text) {
+  std::size_t pos = 0;
+  std::int64_t year = 0, month = 0, day = 0, hour = 0, minute = 0, second = 0;
+  bool negative_year = false;
+  if (pos < text.size() && text[pos] == '-') {
+    negative_year = true;
+    ++pos;
+  }
+  if (!parse_digits(text, &pos, 4, &year)) return std::nullopt;
+  if (negative_year) year = -year;
+  if (pos >= text.size() || text[pos] != '-') return std::nullopt;
+  ++pos;
+  if (!parse_digits(text, &pos, 2, &month)) return std::nullopt;
+  if (pos >= text.size() || text[pos] != '-') return std::nullopt;
+  ++pos;
+  if (!parse_digits(text, &pos, 2, &day)) return std::nullopt;
+  if (pos >= text.size() || (text[pos] != 'T' && text[pos] != 't' &&
+                             text[pos] != ' ')) {
+    return std::nullopt;
+  }
+  ++pos;
+  if (!parse_digits(text, &pos, 2, &hour)) return std::nullopt;
+  if (pos >= text.size() || text[pos] != ':') return std::nullopt;
+  ++pos;
+  if (!parse_digits(text, &pos, 2, &minute)) return std::nullopt;
+  if (pos >= text.size() || text[pos] != ':') return std::nullopt;
+  ++pos;
+  if (!parse_digits(text, &pos, 2, &second)) return std::nullopt;
+  std::int64_t frac_ns = 0;
+  if (!parse_fraction(text, &pos, &frac_ns)) return std::nullopt;
+  // Suffix: nothing (naive = UTC), 'Z', or the explicit zero offset.
+  if (pos < text.size()) {
+    const std::string_view rest = text.substr(pos);
+    if (rest != "Z" && rest != "z" && rest != "+00:00" && rest != "+0000") {
+      return std::nullopt;
+    }
+  }
+  if (month < 1 || month > 12 || day < 1 || day > 31 || hour > 23 ||
+      minute > 59 || second > 60) {  // 60: leap seconds appear in real logs
+    return std::nullopt;
+  }
+  const std::int64_t days = days_from_civil(year, static_cast<unsigned>(month),
+                                            static_cast<unsigned>(day));
+  const std::int64_t secs =
+      days * 86400 + hour * 3600 + minute * 60 + second;
+  return secs * kNsPerSec + frac_ns;
+}
+
+std::optional<WallNanos> parse_numeric(std::string_view text) {
+  // Integer part (possibly negative), optional fraction → decimal seconds.
+  std::size_t pos = 0;
+  bool negative = false;
+  if (pos < text.size() && text[pos] == '-') {
+    negative = true;
+    ++pos;
+  }
+  std::int64_t integer = 0;
+  std::size_t digits = 0;
+  while (pos < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[pos]))) {
+    integer = integer * 10 + (text[pos] - '0');
+    ++pos;
+    ++digits;
+  }
+  if (digits == 0) return std::nullopt;
+  if (pos < text.size() && text[pos] == '.') {
+    std::int64_t frac_ns = 0;
+    if (!parse_fraction(text, &pos, &frac_ns) || pos != text.size()) {
+      return std::nullopt;
+    }
+    const std::int64_t ns = integer * kNsPerSec + frac_ns;
+    return negative ? -ns : ns;
+  }
+  if (pos != text.size()) return std::nullopt;
+  if (negative) integer = -integer;
+  // Bare integer: autodetect the unit by magnitude. Thresholds are ~1e11 s
+  // (year 5138) apart, so any plausible capture date lands in one bucket:
+  //   seconds      < 1e11        (until 5138-11-16)
+  //   milliseconds < 1e14
+  //   microseconds < 1e16
+  //   nanoseconds  otherwise
+  const std::int64_t magnitude = integer < 0 ? -integer : integer;
+  if (magnitude < 100000000000ll) return integer * kNsPerSec;
+  if (magnitude < 100000000000000ll) return integer * 1000000ll;
+  if (magnitude < 10000000000000000ll) return integer * 1000ll;
+  return integer;
+}
+
+}  // namespace
+
+std::optional<WallNanos> parse_wall_time(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  // ISO forms contain '-' after the first digit (dates) or 'T'/':'.
+  const bool looks_iso = text.find(':') != std::string_view::npos ||
+                         text.find('-', 1) != std::string_view::npos;
+  return looks_iso ? parse_iso8601(text) : parse_numeric(text);
+}
+
+std::string format_wall_time(WallNanos wall_ns) {
+  std::int64_t secs = wall_ns / kNsPerSec;
+  std::int64_t sub_ns = wall_ns % kNsPerSec;
+  if (sub_ns < 0) {
+    sub_ns += kNsPerSec;
+    --secs;
+  }
+  std::int64_t days = secs / 86400;
+  std::int64_t sod = secs % 86400;  // second of day
+  if (sod < 0) {
+    sod += 86400;
+    --days;
+  }
+  std::int64_t year = 0;
+  unsigned month = 0, day = 0;
+  civil_from_days(days, &year, &month, &day);
+  char buffer[48];
+  // Millisecond fraction for display; full nanoseconds whenever truncating
+  // would lose precision (capture export must round-trip exactly).
+  if (sub_ns % 1000000 == 0) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "%04lld-%02u-%02uT%02lld:%02lld:%02lld.%03lldZ",
+                  static_cast<long long>(year), month, day,
+                  static_cast<long long>(sod / 3600),
+                  static_cast<long long>((sod / 60) % 60),
+                  static_cast<long long>(sod % 60),
+                  static_cast<long long>(sub_ns / 1000000));
+  } else {
+    std::snprintf(buffer, sizeof(buffer),
+                  "%04lld-%02u-%02uT%02lld:%02lld:%02lld.%09lldZ",
+                  static_cast<long long>(year), month, day,
+                  static_cast<long long>(sod / 3600),
+                  static_cast<long long>((sod / 60) % 60),
+                  static_cast<long long>(sod % 60),
+                  static_cast<long long>(sub_ns));
+  }
+  return buffer;
+}
+
+}  // namespace ipfsmon::util

@@ -1,0 +1,35 @@
+// Wall-clock time for real captures. Ingested Bitswap wantlist logs carry
+// absolute (unix) timestamps; the rest of the pipeline runs on SimTime
+// nanoseconds from a store-local epoch. These helpers convert between the
+// two worlds without touching the host timezone: everything is UTC, using
+// the days-from-civil algorithm instead of timegm.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ipfsmon::util {
+
+/// Nanoseconds since the unix epoch, UTC.
+using WallNanos = std::int64_t;
+
+/// Parses an absolute timestamp as captured in wantlist logs. Accepts:
+///   * a plain integer — nanoseconds since the unix epoch when the value
+///     is implausibly large for seconds (>= 10^16), otherwise
+///     autodetected as seconds / milliseconds / microseconds by magnitude;
+///   * a decimal "seconds.fraction" unix timestamp ("1651572813.25");
+///   * ISO 8601 UTC ("2022-05-03T10:13:33Z", "2022-05-03T10:13:33.250Z",
+///     and the space-separated "2022-05-03 10:13:33" variant; a trailing
+///     "+00:00" is accepted, any other offset is rejected).
+/// Returns nullopt for anything else — ingest treats that as a malformed
+/// line, never as time zero.
+std::optional<WallNanos> parse_wall_time(std::string_view text);
+
+/// Formats nanoseconds-since-epoch as ISO 8601 UTC with millisecond
+/// precision: "2022-05-03T10:13:33.250Z". Negative times (pre-1970)
+/// format correctly.
+std::string format_wall_time(WallNanos wall_ns);
+
+}  // namespace ipfsmon::util
