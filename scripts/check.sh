@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification: doc-drift gate (scripts/check_docs.sh), configure,
-# build, run the full test suite, then rebuild the obs + tracestore +
+# build, run the full test suite, then rebuild the sim + obs + tracestore +
 # query + churn + federation suites under AddressSanitizer
-# (`ctest -L 'obs|tracestore|query|churn|federation'`) and the same
-# concurrent suites under ThreadSanitizer.
+# (`ctest -L 'sim|obs|tracestore|query|churn|federation'`) and the same
+# concurrent suites under ThreadSanitizer (the sharded-scheduler tests run
+# real worker threads, so TSan exercises the barrier/outbox machinery).
 #
 # --perf-smoke additionally runs `exp_query_throughput --smoke`, which
 # fails when the warm watchlist scan rate drops below half the committed
@@ -18,8 +19,14 @@
 # deterministic replay checksum to match tests/data/capture_small.checksum,
 # then runs `exp_ingest_replay --smoke` against the committed ingest floor.
 #
+# --scaling-smoke runs `exp_monitor_scaling --smoke`: the shards=1 run
+# must be byte-identical to a plain study, a repeated 2-shard run must
+# checksum identically, and the 1-shard event rate is gated against the
+# committed floor in bench/scaling_smoke_floor.json.
+#
 # Usage: scripts/check.sh [--no-asan] [--no-tsan] [--perf-smoke]
 #                         [--federation-smoke] [--ingest-smoke]
+#                         [--scaling-smoke]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -29,6 +36,7 @@ RUN_TSAN=1
 RUN_PERF=0
 RUN_FED=0
 RUN_INGEST=0
+RUN_SCALING=0
 for arg in "$@"; do
   case "$arg" in
     --no-asan) RUN_ASAN=0 ;;
@@ -36,6 +44,7 @@ for arg in "$@"; do
     --perf-smoke) RUN_PERF=1 ;;
     --federation-smoke) RUN_FED=1 ;;
     --ingest-smoke) RUN_INGEST=1 ;;
+    --scaling-smoke) RUN_SCALING=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 1 ;;
   esac
 done
@@ -92,24 +101,30 @@ if [[ "$RUN_INGEST" == "1" ]]; then
   build/bench/exp_ingest_replay --smoke
 fi
 
+if [[ "$RUN_SCALING" == "1" ]]; then
+  echo "== scaling smoke: exp_monitor_scaling --smoke (identity + determinism + floor) =="
+  cmake --build build -j "$JOBS" --target exp_monitor_scaling
+  build/bench/exp_monitor_scaling --smoke
+fi
+
 if [[ "$RUN_ASAN" == "1" ]]; then
-  echo "== asan: obs + tracestore + ingest + query + churn + federation suites under -DIPFSMON_SANITIZE=address =="
+  echo "== asan: sim + obs + tracestore + ingest + query + churn + federation suites under -DIPFSMON_SANITIZE=address =="
   cmake -B build-asan -S . -DIPFSMON_SANITIZE=address >/dev/null
-  cmake --build build-asan -j "$JOBS" --target obs_test span_test \
+  cmake --build build-asan -j "$JOBS" --target shard_test obs_test span_test \
     tracestore_test ingest_test query_test churn_test federation_test \
     trace_report
   ctest --test-dir build-asan \
-    -L 'obs|tracestore|ingest|query|churn|federation' --output-on-failure
+    -L 'sim|obs|tracestore|ingest|query|churn|federation' --output-on-failure
 fi
 
 if [[ "$RUN_TSAN" == "1" ]]; then
-  echo "== tsan: obs + query + tracestore + ingest + churn + federation suites under -DIPFSMON_SANITIZE=thread =="
+  echo "== tsan: sim + obs + query + tracestore + ingest + churn + federation suites under -DIPFSMON_SANITIZE=thread =="
   cmake -B build-tsan -S . -DIPFSMON_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j "$JOBS" --target obs_test span_test \
+  cmake --build build-tsan -j "$JOBS" --target shard_test obs_test span_test \
     query_test tracestore_test ingest_test churn_test federation_test \
     trace_report
   ctest --test-dir build-tsan \
-    -L 'obs|query|tracestore|ingest|churn|federation' --output-on-failure
+    -L 'sim|obs|query|tracestore|ingest|churn|federation' --output-on-failure
 fi
 
 echo "== all checks passed =="

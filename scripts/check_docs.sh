@@ -15,7 +15,11 @@
 #      documented in BOTH README.md and DESIGN.md;
 #   7. every smoke gate scripts/check.sh offers (--*-smoke) must be
 #      documented in README.md, and the fixture/floor files the gate
-#      reads must exist.
+#      reads must exist;
+#   8. every bench/exp_* experiment binary must have a row in
+#      EXPERIMENTS.md;
+#   9. every --flag an examples/ binary parses must be documented in
+#      README.md.
 #
 # Run directly or via scripts/check.sh. Exit 0 = docs in sync.
 set -euo pipefail
@@ -126,6 +130,26 @@ inputs="$(grep -oE '(tests/data|bench)/[A-Za-z0-9_.]+\.(json|ndjson|gz|checksum)
 for input in $inputs; do
   if [[ ! -e "$input" ]]; then
     err "scripts/check.sh reads ${input}, but it does not exist in the tree"
+  fi
+done
+
+# --- 8. every experiment binary has an EXPERIMENTS.md row -------------------
+for exp_src in bench/exp_*.cpp; do
+  exp="$(basename "$exp_src" .cpp)"
+  if ! grep -q "$exp" EXPERIMENTS.md; then
+    err "experiment ${exp} (${exp_src}) has no row in EXPERIMENTS.md"
+  fi
+done
+
+# --- 9. every flag the examples parse is documented in README ---------------
+# Flags appear in the sources as string literals ("--shards=", "--port").
+# Compare on the bare --flag name so both --flag=value and "--flag value"
+# parsing styles match the README's mention.
+example_flags="$(grep -ohE '"--[a-z][a-z0-9-]*' examples/*.cpp \
+                   | tr -d '"=' | sort -u)"
+for flag in $example_flags; do
+  if ! grep -q -- "$flag" README.md; then
+    err "examples/ parse flag ${flag}, but README.md does not document it"
   fi
 done
 

@@ -1,0 +1,270 @@
+#include "scenario/sharded_study.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace ipfsmon::scenario {
+
+std::size_t ShardedStudy::share(std::size_t total, std::size_t s) const {
+  const std::size_t count = std::max<std::size_t>(config_.shards, 1);
+  return total / count + (s < total % count ? 1 : 0);
+}
+
+StudyConfig ShardedStudy::shard_config(std::size_t s) const {
+  StudyConfig cfg = config_;
+  const std::size_t count = std::max<std::size_t>(config_.shards, 1);
+  if (count == 1) return cfg;  // exact passthrough: byte-identity matters
+
+  if (s > 0) {
+    // Derived per-shard seed streams: shard 0 keeps the root seed so its
+    // RNG genealogy matches a standalone study of the same size.
+    std::uint64_t state = config_.seed ^ (0x9e3779b97f4a7c15ull * s);
+    cfg.seed = util::splitmix64(state);
+  }
+  cfg.population.node_count = share(config_.population.node_count, s);
+  cfg.population.stable_server_count =
+      std::max<std::size_t>(1, share(config_.population.stable_server_count, s));
+  cfg.population.bootstrap_count =
+      std::max<std::size_t>(1, share(config_.population.bootstrap_count, s));
+  cfg.population.misconfigured_nodes =
+      share(config_.population.misconfigured_nodes, s);
+  cfg.catalog.item_count =
+      std::max<std::size_t>(1, share(config_.catalog.item_count, s));
+  // Churn processes run per shard; divide the global rates so the whole
+  // simulation sees the configured totals. Monitor-crash MTBF stays as-is
+  // (it is already per monitor, and monitors live on their home shard).
+  cfg.churn.nodes.arrival_rate_per_hour /= static_cast<double>(count);
+  cfg.churn.nodes.max_transient = share(config_.churn.nodes.max_transient, s);
+  cfg.churn.partitions.rate_per_hour /= static_cast<double>(count);
+  // The coordinator prints the heartbeat; per-shard ones would interleave.
+  cfg.progress_heartbeat = false;
+  if (!config_.trace_export_base.empty()) {
+    cfg.trace_export_base =
+        config_.trace_export_base + "-shard" + std::to_string(s);
+  }
+  return cfg;
+}
+
+ShardedStudy::ShardedStudy(StudyConfig config) : config_(std::move(config)) {
+  const std::size_t count = std::max<std::size_t>(config_.shards, 1);
+  if (count > 1 && config_.use_active_monitors) {
+    // Active monitors crawl by dialing arbitrary learned peers; only
+    // explicitly cross-registered hubs are dialable across shards, so a
+    // sharded active sweep would silently observe less. Refuse loudly.
+    throw std::invalid_argument(
+        "ShardedStudy: use_active_monitors requires shards == 1");
+  }
+  sim::ShardedSchedulerConfig sched_config;
+  sched_config.shards = count;
+  // The lookahead is what every cross-shard link latency gets floored at;
+  // take the configured floor, but never less than what the geography
+  // already guarantees for any same-planet pair.
+  sched_config.lookahead =
+      std::max(config_.shard_link_floor,
+               net::GeoDatabase::standard().min_latency());
+  sched_config.use_threads = config_.shard_threads;
+  coordinator_ = std::make_unique<sim::ShardedScheduler>(sched_config);
+
+  studies_.reserve(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    ShardPlacement placement{&coordinator_->shard(s), s, count};
+    studies_.push_back(
+        std::make_unique<MonitoringStudy>(shard_config(s), placement));
+    shard_networks_.push_back(&studies_.back()->network());
+  }
+  if (count == 1) return;  // no cross-shard plumbing: stay inert
+
+  for (std::size_t s = 0; s < count; ++s) {
+    shard_networks_[s]->attach_shard(
+        coordinator_.get(), s,
+        [this](std::size_t shard) { return shard_networks_[shard]; });
+  }
+  // Monitors are the cross-shard cut: every shard's nodes can discover and
+  // dial every other shard's monitors (always-online hubs), so each
+  // monitor observes request traffic from the entire population.
+  for (std::size_t home = 0; home < count; ++home) {
+    for (monitor::PassiveMonitor* m : studies_[home]->monitors()) {
+      const net::NodeRecord* rec = shard_networks_[home]->record(m->id());
+      for (std::size_t s = 0; s < count; ++s) {
+        if (s == home) continue;
+        shard_networks_[s]->register_remote(m->id(), home, rec->address,
+                                            rec->country,
+                                            config_.monitor_discovery_weight);
+        // Seed the remote monitor into this shard's bootstrap routing
+        // tables: long-running DHT servers accumulate presence in stable
+        // infrastructure, which is how the paper's vantage points become
+        // discoverable network-wide. From there the record spreads via
+        // FIND_NODE gossip — the same path a local monitor takes. Without
+        // this, nodes whose degree is saturated (e.g. by gateway hubs)
+        // would never dial across the shard boundary.
+        auto& pop = studies_[s]->population();
+        for (std::size_t b = 0; b < pop.bootstrap_ids().size(); ++b) {
+          pop.node_at(b).dht().learn_server(m->id());
+        }
+      }
+    }
+  }
+  // Coordinator-level gauges ride on shard 0's collector (if any): one
+  // place on /metrics to watch epochs, cross-shard traffic, and stalls.
+  if (studies_[0]->collector() != nullptr) {
+    obs::register_sharded_scheduler_metrics(*studies_[0]->collector(),
+                                            studies_[0]->obs().metrics,
+                                            *coordinator_);
+  }
+}
+
+ShardedStudy::~ShardedStudy() = default;
+
+void ShardedStudy::run_warmup() {
+  // Every shard's components must start before any clock advances: the
+  // coordinator moves all shards in lockstep, so a late-started shard
+  // would miss sim time rather than start at zero.
+  for (auto& study : studies_) study->start_components();
+  run_span(coordinator_->now() + config_.warmup, "warmup");
+  for (auto& study : studies_) study->after_warmup();
+}
+
+void ShardedStudy::run_measurement(util::SimDuration duration) {
+  run_span(coordinator_->now() + duration, "measurement");
+  for (auto& study : studies_) study->export_spans();
+}
+
+void ShardedStudy::run_span(util::SimTime target, const char* label) {
+  if (!config_.progress_heartbeat) {
+    coordinator_->run_until(target);
+    return;
+  }
+  const util::SimTime start = coordinator_->now();
+  const auto wall_start = std::chrono::steady_clock::now();
+  while (coordinator_->now() < target) {
+    coordinator_->run_until(
+        std::min(target, coordinator_->now() + config_.heartbeat_interval));
+    const double progress = static_cast<double>(coordinator_->now() - start) /
+                            static_cast<double>(target - start);
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+    const double eta =
+        progress > 0.0 ? wall * (1.0 - progress) / progress : 0.0;
+    std::fprintf(
+        stderr,
+        "[ipfsmon] %s %3.0f%% (sim %s, %zu shards, %llu epochs) wall %.1fs "
+        "eta %.1fs\n",
+        label, 100.0 * progress,
+        util::format_sim_time(coordinator_->now()).c_str(), studies_.size(),
+        static_cast<unsigned long long>(coordinator_->epochs()), wall, eta);
+  }
+}
+
+std::vector<const monitor::PassiveMonitor*> ShardedStudy::monitors_by_id()
+    const {
+  std::vector<const monitor::PassiveMonitor*> out;
+  for (const auto& study : studies_) {
+    for (const auto* m : study->monitors()) out.push_back(m);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const monitor::PassiveMonitor* a,
+               const monitor::PassiveMonitor* b) {
+              return a->monitor_id() < b->monitor_id();
+            });
+  return out;
+}
+
+std::vector<monitor::PassiveMonitor*> ShardedStudy::monitors() {
+  std::vector<monitor::PassiveMonitor*> out;
+  for (const auto* m : monitors_by_id()) {
+    out.push_back(const_cast<monitor::PassiveMonitor*>(m));
+  }
+  return out;
+}
+
+trace::Trace ShardedStudy::unified_trace(
+    const trace::PreprocessOptions& options) const {
+  std::vector<const trace::Trace*> traces;
+  for (const auto* m : monitors_by_id()) traces.push_back(&m->recorded());
+  return trace::unify(traces, options);
+}
+
+bool ShardedStudy::finalize_monitor_spill() {
+  bool ok = false;
+  for (auto& study : studies_) {
+    if (!study->monitors().empty()) ok = true;
+    if (!study->finalize_monitor_spill()) return false;
+  }
+  return ok;
+}
+
+std::vector<std::string> ShardedStudy::monitor_store_dirs() const {
+  std::vector<std::string> out;
+  for (const auto* m : monitors_by_id()) {
+    if (m->spilling()) out.push_back(m->spill_dir());
+  }
+  return out;
+}
+
+std::vector<std::vector<std::vector<crypto::PeerId>>>
+ShardedStudy::matched_snapshots() const {
+  const auto mons = monitors_by_id();
+  std::size_t count = std::numeric_limits<std::size_t>::max();
+  for (const auto* m : mons) count = std::min(count, m->snapshots().size());
+  if (count == std::numeric_limits<std::size_t>::max()) count = 0;
+
+  std::vector<std::vector<std::vector<crypto::PeerId>>> out;
+  out.reserve(count);
+  for (std::size_t t = 0; t < count; ++t) {
+    std::vector<std::vector<crypto::PeerId>> row;
+    row.reserve(mons.size());
+    for (const auto* m : mons) row.push_back(m->snapshots()[t].peers);
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::uint64_t ShardedStudy::requests_issued() const {
+  std::uint64_t total = 0;
+  for (const auto& study : studies_) {
+    total += study->population().requests_issued();
+  }
+  return total;
+}
+
+std::uint64_t ShardedStudy::fetches_succeeded() const {
+  std::uint64_t total = 0;
+  for (const auto& study : studies_) {
+    total += study->population().fetches_succeeded();
+  }
+  return total;
+}
+
+std::uint64_t ShardedStudy::fetches_failed() const {
+  std::uint64_t total = 0;
+  for (const auto& study : studies_) {
+    total += study->population().fetches_failed();
+  }
+  return total;
+}
+
+std::size_t ShardedStudy::population_size() const {
+  std::size_t total = 0;
+  for (const auto& study : studies_) total += study->population().size();
+  return total;
+}
+
+std::size_t ShardedStudy::online_count() const {
+  std::size_t total = 0;
+  for (const auto& study : studies_) total += study->population().online_count();
+  return total;
+}
+
+std::size_t ShardedStudy::ever_online_count() const {
+  std::size_t total = 0;
+  for (const auto& study : studies_) {
+    total += study->population().ever_online_count();
+  }
+  return total;
+}
+
+}  // namespace ipfsmon::scenario

@@ -1,0 +1,85 @@
+// The sharded monitoring study: config.shards placed MonitoringStudy
+// instances, one per sim::Scheduler shard, advanced in lockstep by a
+// ShardedScheduler coordinator. Each shard is a quasi-independent region
+// (own catalog, population share, gateways) whose nodes can discover and
+// dial the monitors of every other shard — monitors are the cross-shard
+// cut, mirroring how the paper's vantage points peer with the whole
+// network while ordinary peers cluster regionally.
+//
+// shards == 1 is a complete passthrough: no coordinator threads, no
+// cross-shard plumbing, byte-identical traces to a plain MonitoringStudy
+// (and therefore to pre-sharding builds). See DESIGN.md Sec. 12 for the
+// determinism contract.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "scenario/study.hpp"
+#include "sim/shard.hpp"
+
+namespace ipfsmon::scenario {
+
+class ShardedStudy {
+ public:
+  explicit ShardedStudy(StudyConfig config);
+  ~ShardedStudy();
+
+  ShardedStudy(const ShardedStudy&) = delete;
+  ShardedStudy& operator=(const ShardedStudy&) = delete;
+
+  /// Starts every shard's components, runs the warm-up window under the
+  /// coordinator, then resets all monitors at the same sim time.
+  void run_warmup();
+  void run_measurement(util::SimDuration duration);
+  void run_measurement() { run_measurement(config_.duration); }
+  void run() {
+    run_warmup();
+    run_measurement();
+  }
+
+  // --- Access -------------------------------------------------------------
+  const StudyConfig& config() const { return config_; }
+  std::size_t shard_count() const { return studies_.size(); }
+  sim::ShardedScheduler& coordinator() { return *coordinator_; }
+  const sim::ShardedScheduler& coordinator() const { return *coordinator_; }
+  MonitoringStudy& shard(std::size_t s) { return *studies_[s]; }
+  const MonitoringStudy& shard(std::size_t s) const { return *studies_[s]; }
+
+  /// All monitors across all shards, in global monitor-id order.
+  std::vector<monitor::PassiveMonitor*> monitors();
+
+  /// Unified, flag-marked trace across every shard's monitors.
+  trace::Trace unified_trace(const trace::PreprocessOptions& options = {}) const;
+
+  bool finalize_monitor_spill();
+  std::vector<std::string> monitor_store_dirs() const;
+
+  /// Matched snapshots across all monitors (global id order per row), cut
+  /// to the shortest monitor's snapshot count.
+  std::vector<std::vector<std::vector<crypto::PeerId>>> matched_snapshots()
+      const;
+
+  // Ground truth summed over shards.
+  std::uint64_t requests_issued() const;
+  std::uint64_t fetches_succeeded() const;
+  std::uint64_t fetches_failed() const;
+  std::size_t population_size() const;
+  std::size_t online_count() const;
+  std::size_t ever_online_count() const;
+
+ private:
+  /// Splits `total` into shard-count slices; slice s gets the remainder
+  /// spread over the low shards so the sum is exactly `total`.
+  std::size_t share(std::size_t total, std::size_t s) const;
+  StudyConfig shard_config(std::size_t s) const;
+  void run_span(util::SimTime target, const char* label);
+  std::vector<const monitor::PassiveMonitor*> monitors_by_id() const;
+
+  StudyConfig config_;
+  std::unique_ptr<sim::ShardedScheduler> coordinator_;
+  std::vector<net::Network*> shard_networks_;  // resolver table
+  std::vector<std::unique_ptr<MonitoringStudy>> studies_;
+};
+
+}  // namespace ipfsmon::scenario

@@ -11,7 +11,10 @@ bool EventHandle::pending() const {
 }
 
 EventHandle Scheduler::schedule_at(util::SimTime when, EventFn fn) {
-  if (when < now_) when = now_;
+  if (when < now_) {
+    when = now_;
+    ++schedule_clamped_;
+  }
   if (wrapper_) fn = wrapper_(std::move(fn));
   auto state = std::make_shared<EventHandle::State>();
   queue_.push(Entry{when, next_seq_++, std::move(fn), state});

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <vector>
 
@@ -74,12 +75,28 @@ class Scheduler {
 
   std::size_t pending_events() const { return queue_.size(); }
 
+  /// Timestamp of the earliest pending event (nullopt when the queue is
+  /// empty). May point at a cancelled entry — callers using this as a
+  /// lower bound (the sharded coordinator's window start) stay correct,
+  /// just occasionally conservative.
+  std::optional<util::SimTime> next_event_time() const {
+    if (queue_.empty()) return std::nullopt;
+    return queue_.top().when;
+  }
+
   /// Total events dispatched since construction (for stats/benchmarks).
   std::uint64_t dispatched() const { return dispatched_; }
 
   /// Events found cancelled when their dispatch time arrived (cancellation
   /// itself is O(1) on the handle; the queue entry is skipped here).
   std::uint64_t cancelled() const { return cancelled_; }
+
+  /// Events whose requested time was in the past and was silently clamped
+  /// to now by schedule_at. Nonzero values are normal for "fire asap"
+  /// scheduling, but a cross-shard delivery landing here means its
+  /// timestamp violated the conservative lookahead bound — surface this
+  /// on /metrics rather than hiding it.
+  std::uint64_t schedule_clamped() const { return schedule_clamped_; }
 
  private:
   struct Entry {
@@ -100,6 +117,7 @@ class Scheduler {
   std::uint64_t next_seq_ = 0;
   std::uint64_t dispatched_ = 0;
   std::uint64_t cancelled_ = 0;
+  std::uint64_t schedule_clamped_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
 };
 

@@ -1,0 +1,194 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace ipfsmon::sim {
+
+ShardedScheduler::ShardedScheduler(ShardedSchedulerConfig config)
+    : config_(config) {
+  if (config_.shards == 0) {
+    throw std::invalid_argument("ShardedScheduler: shards must be >= 1");
+  }
+  if (config_.shards > 1 && config_.lookahead <= 0) {
+    throw std::invalid_argument(
+        "ShardedScheduler: lookahead must be positive with >1 shard");
+  }
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  last_dispatched_.assign(config_.shards, 0);
+  if (config_.shards > 1 && config_.use_threads) {
+    workers_.reserve(config_.shards - 1);
+    for (std::size_t i = 1; i < config_.shards; ++i) {
+      workers_.emplace_back([this, i] { worker_loop(i); });
+    }
+  }
+}
+
+ShardedScheduler::~ShardedScheduler() { stop_workers(); }
+
+void ShardedScheduler::stop_workers() {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+}
+
+void ShardedScheduler::post(std::size_t src_shard, std::size_t dst_shard,
+                            util::SimTime when, EventFn fn) {
+  if (shards_.size() == 1) {
+    shards_[0]->scheduler.schedule_at(when, std::move(fn));
+    return;
+  }
+  // Defense in depth: the epoch mechanics guarantee every delivery from a
+  // window ending at `cap` lands at >= cap + 1 when the network floors
+  // cross-shard latency at `lookahead` (see run_until). A nonzero clamp
+  // count therefore means the layer above broke the lookahead contract.
+  util::SimTime horizon = horizon_.load(std::memory_order_relaxed);
+  if (when < horizon) {
+    when = horizon;
+    lookahead_clamped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  Shard& src = *shards_[src_shard];
+  src.outbox.push_back(CrossMsg{when, src.scheduler.now(), src.next_out_seq++,
+                                src_shard, dst_shard, std::move(fn)});
+  cross_posts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ShardedScheduler::drain_outboxes() {
+  // Merge all pending cross-shard messages in a total order independent of
+  // which thread produced them when: (delivery, send_time, src, seq).
+  // Scheduling into the destination in that order lets the destination
+  // scheduler's FIFO seq tiebreak reproduce it for same-time deliveries.
+  std::vector<CrossMsg> merged;
+  for (auto& shard : shards_) {
+    merged.insert(merged.end(), std::make_move_iterator(shard->outbox.begin()),
+                  std::make_move_iterator(shard->outbox.end()));
+    shard->outbox.clear();
+  }
+  if (merged.empty()) return;
+  std::sort(merged.begin(), merged.end(),
+            [](const CrossMsg& a, const CrossMsg& b) {
+              if (a.when != b.when) return a.when < b.when;
+              if (a.sent != b.sent) return a.sent < b.sent;
+              if (a.src != b.src) return a.src < b.src;
+              return a.seq < b.seq;
+            });
+  for (auto& msg : merged) {
+    shards_[msg.dst]->scheduler.schedule_at(msg.when, std::move(msg.fn));
+  }
+}
+
+void ShardedScheduler::run_window(util::SimTime cap) {
+  if (workers_.empty()) {
+    // Sequential mode: identical epoch schedule, one thread.
+    for (auto& shard : shards_) {
+      shard->scheduler.run_until(cap);
+      shard->dispatched_snapshot.store(shard->scheduler.dispatched(),
+                                       std::memory_order_relaxed);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    window_cap_ = cap;
+    workers_pending_ = workers_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  shards_[0]->scheduler.run_until(cap);
+  shards_[0]->dispatched_snapshot.store(shards_[0]->scheduler.dispatched(),
+                                        std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return workers_pending_ == 0; });
+}
+
+void ShardedScheduler::worker_loop(std::size_t index) {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    util::SimTime cap = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return stopping_ || generation_ != seen_generation;
+      });
+      if (stopping_) return;
+      seen_generation = generation_;
+      cap = window_cap_;
+    }
+    Shard& shard = *shards_[index];
+    shard.scheduler.run_until(cap);
+    shard.dispatched_snapshot.store(shard.scheduler.dispatched(),
+                                    std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --workers_pending_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ShardedScheduler::run_until(util::SimTime deadline) {
+  if (shards_.size() == 1) {
+    shards_[0]->scheduler.run_until(deadline);
+    shards_[0]->dispatched_snapshot.store(shards_[0]->scheduler.dispatched(),
+                                          std::memory_order_relaxed);
+    return;
+  }
+  while (true) {
+    drain_outboxes();
+    // Window start: the earliest pending event anywhere. Every shard's
+    // clock is <= start, so running each shard to `cap` dispatches only
+    // events in [start, cap] — and any cross-shard send made by those
+    // events is delivered at >= start + lookahead >= cap + 1.
+    util::SimTime start = std::numeric_limits<util::SimTime>::max();
+    for (auto& shard : shards_) {
+      if (auto t = shard->scheduler.next_event_time()) {
+        start = std::min(start, *t);
+      }
+    }
+    if (start == std::numeric_limits<util::SimTime>::max() ||
+        start > deadline) {
+      break;
+    }
+    util::SimTime cap = deadline;
+    if (deadline - start >= config_.lookahead) {
+      cap = start + config_.lookahead - 1;
+    }
+    horizon_.store(cap + 1, std::memory_order_relaxed);
+    run_window(cap);
+    epochs_.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t stalls = 0;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      std::uint64_t now_dispatched =
+          shards_[i]->dispatched_snapshot.load(std::memory_order_relaxed);
+      if (now_dispatched == last_dispatched_[i]) ++stalls;
+      last_dispatched_[i] = now_dispatched;
+    }
+    if (stalls > 0) horizon_stalls_.fetch_add(stalls, std::memory_order_relaxed);
+  }
+  // Deliver sends from the final window, then advance every clock to the
+  // deadline so the next run_until call starts from a uniform global time.
+  drain_outboxes();
+  horizon_.store(deadline, std::memory_order_relaxed);
+  for (auto& shard : shards_) {
+    shard->scheduler.run_until(deadline);
+    shard->dispatched_snapshot.store(shard->scheduler.dispatched(),
+                                     std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t ShardedScheduler::total_dispatched() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) total += shard_dispatched(i);
+  return total;
+}
+
+}  // namespace ipfsmon::sim

@@ -1,0 +1,144 @@
+// Sharded parallel simulation core: partitions a simulation across
+// per-core sim::Scheduler shards and advances them in conservative
+// barrier epochs (classic null-message-free conservative PDES). Each
+// epoch runs every shard in parallel over the window
+// [start, start + lookahead), where `lookahead` is a lower bound on the
+// delay of any cross-shard interaction — so no event a remote shard could
+// inject can land inside the window being executed.
+//
+// Determinism contract (see DESIGN.md Sec. 12): with a fixed shard count,
+// runs are bit-identical regardless of thread interleaving — cross-shard
+// messages carry a (delivery_time, send_time, src_shard, seq) key, are
+// merged in that total order at each barrier, and only ever enter a shard
+// between windows. shards == 1 bypasses the coordinator entirely (no
+// threads, no extra state) and is byte-identical to a plain Scheduler.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace ipfsmon::sim {
+
+struct ShardedSchedulerConfig {
+  std::size_t shards = 1;
+  /// Conservative lookahead: every cross-shard post() must carry a
+  /// delivery time >= (window start + lookahead). The network layer
+  /// guarantees this by flooring cross-shard link latencies at this
+  /// value. Must be > 0 when shards > 1.
+  util::SimDuration lookahead = util::kMillisecond;
+  /// Run shards 1..N-1 on worker threads (shard 0 always runs on the
+  /// caller's thread). Off = sequential execution of the identical epoch
+  /// schedule — same results, used to isolate determinism from threading.
+  bool use_threads = true;
+};
+
+class ShardedScheduler {
+ public:
+  explicit ShardedScheduler(ShardedSchedulerConfig config);
+  ~ShardedScheduler();
+
+  ShardedScheduler(const ShardedScheduler&) = delete;
+  ShardedScheduler& operator=(const ShardedScheduler&) = delete;
+
+  std::size_t shard_count() const { return shards_.size(); }
+  util::SimDuration lookahead() const { return config_.lookahead; }
+  Scheduler& shard(std::size_t i) { return shards_[i]->scheduler; }
+  const Scheduler& shard(std::size_t i) const { return shards_[i]->scheduler; }
+
+  /// Global clock. Shard clocks are equal between run_until calls (each
+  /// call leaves every shard advanced to its deadline).
+  util::SimTime now() const { return shards_[0]->scheduler.now(); }
+
+  /// Schedules `fn` on `dst_shard` at absolute time `when`. Callable from
+  /// the shard thread currently executing `src_shard`'s window (the only
+  /// caller during a window) or from the coordinator thread between
+  /// windows. Delivery times below the current safe horizon are clamped
+  /// to it and counted in lookahead_clamped() — the layer above is
+  /// expected to make that impossible by flooring cross-shard latencies.
+  void post(std::size_t src_shard, std::size_t dst_shard, util::SimTime when,
+            EventFn fn);
+
+  /// Runs all shards until `deadline` in barrier epochs. With one shard
+  /// this is exactly shard(0).run_until(deadline).
+  void run_until(util::SimTime deadline);
+
+  // --- Statistics (readable from any thread; atomics) ----------------------
+  std::uint64_t epochs() const { return epochs_.load(std::memory_order_relaxed); }
+  std::uint64_t cross_posts() const {
+    return cross_posts_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t lookahead_clamped() const {
+    return lookahead_clamped_.load(std::memory_order_relaxed);
+  }
+  /// Shard×epoch pairs that dispatched zero events — the idle fraction a
+  /// too-small lookahead or load imbalance produces.
+  std::uint64_t horizon_stalls() const {
+    return horizon_stalls_.load(std::memory_order_relaxed);
+  }
+  /// Events dispatched by shard `i`, as of the last completed epoch
+  /// barrier (live for the calling shard's own scheduler; snapshot
+  /// elsewhere — safe to read from shard 0's metrics samplers).
+  std::uint64_t shard_dispatched(std::size_t i) const {
+    return shards_[i]->dispatched_snapshot.load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_dispatched() const;
+
+ private:
+  struct CrossMsg {
+    util::SimTime when;  // delivery time (post-clamp)
+    util::SimTime sent;  // src shard clock at post time
+    std::uint64_t seq;   // per-src-shard monotone counter
+    std::size_t src;
+    std::size_t dst;
+    EventFn fn;
+  };
+
+  struct Shard {
+    Scheduler scheduler;
+    /// Outbox of cross-shard sends made while this shard's window runs.
+    /// Thread-confined to the shard's executor during a window; drained
+    /// by the coordinator at the barrier (ordering via the barrier lock).
+    std::vector<CrossMsg> outbox;
+    std::uint64_t next_out_seq = 0;
+    std::atomic<std::uint64_t> dispatched_snapshot{0};
+  };
+
+  void drain_outboxes();
+  void run_window(util::SimTime cap);
+  void worker_loop(std::size_t index);
+  void stop_workers();
+
+  ShardedSchedulerConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::uint64_t> last_dispatched_;  // coordinator-only
+
+  /// Exclusive lower bound for cross-shard delivery times: cap + 1 of the
+  /// window currently executing. post() clamps below it.
+  std::atomic<util::SimTime> horizon_{0};
+
+  std::atomic<std::uint64_t> epochs_{0};
+  std::atomic<std::uint64_t> cross_posts_{0};
+  std::atomic<std::uint64_t> lookahead_clamped_{0};
+  std::atomic<std::uint64_t> horizon_stalls_{0};
+
+  // Generation-counted barrier for the persistent workers. The mutex
+  // hand-offs at window start/end order every outbox append and scheduler
+  // mutation between the coordinator and the shard threads.
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  util::SimTime window_cap_ = 0;
+  std::size_t workers_pending_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ipfsmon::sim
